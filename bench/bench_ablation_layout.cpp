@@ -1,0 +1,84 @@
+// Ablation: message-matrix layouts. Compares the paper's fixed staggered
+// matrix (double-buffered and Observation-2 single-copy) against the
+// chained-extent store on uniform sort traffic: parallel efficiency,
+// operation counts, and disk footprint.
+#include <cstdio>
+
+#include "algo/sort.h"
+#include "bench/bench_util.h"
+#include "emcgm/em_engine.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+using namespace emcgm::bench;
+
+namespace {
+
+struct Probe {
+  std::uint64_t ops;
+  double efficiency;
+  std::uint64_t tracks;
+};
+
+Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n) {
+  cgm::MachineConfig cfg = standard_config(8, 1, 4, 2048);
+  cfg.layout = layout;
+  cfg.single_copy_matrix = single_copy;
+  cfg.balanced_routing = true;  // gives the staggered matrix its size bound
+  em::EmEngine engine(cfg);
+  cgm::Machine* dummy = nullptr;
+  (void)dummy;
+
+  algo::SampleSortProgram<std::uint64_t> prog;
+  auto keys = random_keys(9, n);
+  cgm::PartitionSet input;
+  input.parts.resize(8);
+  for (std::uint32_t j = 0; j < 8; ++j) {
+    const auto b = chunk_begin(n, 8, j), c = chunk_size(n, 8, j);
+    input.parts[j] = vec_to_bytes(
+        std::vector<std::uint64_t>(keys.begin() + b, keys.begin() + b + c));
+  }
+  std::vector<cgm::PartitionSet> inputs;
+  inputs.push_back(std::move(input));
+  engine.run(prog, std::move(inputs));
+
+  Probe p{};
+  p.ops = engine.last_result().io.total_ops();
+  p.efficiency = engine.io_stats(0).parallel_efficiency(4);
+  p.tracks = engine.tracks_used(0);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1u << 17;
+  std::printf(
+      "Ablation: message store layouts under balanced sort traffic\n"
+      "v=8, p=1, D=4, B=2 KiB, N=2^17 items, balanced routing on.\n\n");
+
+  Table t({"layout", "parallel I/Os", "parallel efficiency",
+           "disk tracks used"});
+  {
+    auto p = run(cgm::MsgLayout::kChained, false, n);
+    t.row({"chained extents", fmt_u(p.ops), fmt(p.efficiency, 3),
+           fmt_u(p.tracks)});
+  }
+  {
+    auto p = run(cgm::MsgLayout::kStaggeredMatrix, false, n);
+    t.row({"staggered matrix (double buffer)", fmt_u(p.ops),
+           fmt(p.efficiency, 3), fmt_u(p.tracks)});
+  }
+  {
+    auto p = run(cgm::MsgLayout::kStaggeredMatrix, true, n);
+    t.row({"staggered matrix (Observation 2, single copy)", fmt_u(p.ops),
+           fmt(p.efficiency, 3), fmt_u(p.tracks)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: all three layouts deliver near-1.0 parallel"
+      " efficiency; the single-copy matrix saves the second matrix copy's"
+      " tracks (Observation 2); chained extents use space proportional to"
+      " actual traffic rather than v^2 fixed slots.\n");
+  return 0;
+}

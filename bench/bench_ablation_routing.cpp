@@ -1,0 +1,138 @@
+// Ablation: BalancedRouting (Algorithm 1 / Lemma 2). A shift permutation
+// makes every virtual processor send its entire partition to one
+// destination — the worst-case h-relation. Without balancing, message
+// sizes span [0, N/v] and the fixed-slot message matrix must reserve
+// N/v-sized slots for all v^2 pairs; with balancing, every physical
+// message is within O(v) of N/v^2 and the matrix shrinks by ~v/2 at the
+// price of doubling the communication supersteps.
+#include <cstdio>
+
+#include "algo/permute.h"
+#include "bench/bench_util.h"
+#include "cgm/native_engine.h"
+#include "emcgm/em_engine.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+using namespace emcgm::bench;
+
+namespace {
+
+struct Probe {
+  std::uint64_t min_msg, max_msg, comm_steps, ops, tracks;
+};
+
+Probe run(bool balanced, cgm::MsgLayout layout, std::size_t slot_bytes,
+          std::size_t n, std::uint32_t v) {
+  cgm::MachineConfig cfg = standard_config(v, 1, 4, 2048);
+  cfg.balanced_routing = balanced;
+  cfg.layout = layout;
+  cfg.staggered_slot_bytes = slot_bytes;
+  em::EmEngine engine(cfg);
+
+  auto values = random_keys(1, n);
+  std::vector<std::uint64_t> shift(n);
+  for (std::size_t i = 0; i < n; ++i) shift[i] = (i + n / v) % n;
+
+  algo::PermuteProgram<std::uint64_t> prog(n);
+  cgm::PartitionSet pv, pt;
+  pv.parts.resize(v);
+  pt.parts.resize(v);
+  for (std::uint32_t j = 0; j < v; ++j) {
+    const auto b = chunk_begin(n, v, j), c = chunk_size(n, v, j);
+    pv.parts[j] = vec_to_bytes(std::vector<std::uint64_t>(
+        values.begin() + b, values.begin() + b + c));
+    pt.parts[j] = vec_to_bytes(std::vector<std::uint64_t>(
+        shift.begin() + b, shift.begin() + b + c));
+  }
+  std::vector<cgm::PartitionSet> inputs;
+  inputs.push_back(std::move(pv));
+  inputs.push_back(std::move(pt));
+  engine.run(prog, std::move(inputs));
+
+  // Message-size extremes come from the native engine's view of the same
+  // physical traffic; rerun there for the statistics.
+  cgm::MachineConfig ncfg;
+  ncfg.v = v;
+  ncfg.balanced_routing = balanced;
+  cgm::NativeEngine native(ncfg);
+  algo::PermuteProgram<std::uint64_t> nprog(n);
+  cgm::PartitionSet qv, qt;
+  qv.parts.resize(v);
+  qt.parts.resize(v);
+  for (std::uint32_t j = 0; j < v; ++j) {
+    const auto b = chunk_begin(n, v, j), c = chunk_size(n, v, j);
+    qv.parts[j] = vec_to_bytes(std::vector<std::uint64_t>(
+        values.begin() + b, values.begin() + b + c));
+    qt.parts[j] = vec_to_bytes(std::vector<std::uint64_t>(
+        shift.begin() + b, shift.begin() + b + c));
+  }
+  std::vector<cgm::PartitionSet> ninputs;
+  ninputs.push_back(std::move(qv));
+  ninputs.push_back(std::move(qt));
+  native.run(nprog, std::move(ninputs));
+
+  Probe p{};
+  p.min_msg = ~0ull;
+  for (const auto& s : native.last_result().comm.steps) {
+    if (s.messages == 0) continue;
+    p.min_msg = std::min(p.min_msg, s.min_msg_bytes);
+    p.max_msg = std::max(p.max_msg, s.max_msg_bytes);
+  }
+  p.comm_steps = engine.last_result().comm_steps;
+  p.ops = engine.last_result().io.total_ops();
+  p.tracks = engine.tracks_used(0);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t v = 16;
+  const std::size_t n = 1u << 16;
+  std::printf(
+      "Ablation: balanced routing under a worst-case (shift) h-relation\n"
+      "v=16, p=1, D=4, B=2 KiB, N=2^16 items. Unbalanced staggered slots"
+      " must hold N/v items; balanced slots hold ~2N/v^2.\n\n");
+
+  // Routed items are (index, value) pairs of 16 bytes each.
+  const std::size_t item = sizeof(prim::Tagged<std::uint64_t>);
+  const std::size_t big_slot = (n / v) * item + 64;
+  const std::size_t small_slot = 2 * (n / v / v) * item + 48 * v + 64;
+
+  Table t({"configuration", "phys. msg bytes [min,max]", "comm supersteps",
+           "parallel I/Os", "disk tracks used"});
+  {
+    auto p = run(false, cgm::MsgLayout::kStaggeredMatrix, big_slot, n, v);
+    t.row({"unbalanced + staggered (slots = N/v)",
+           "[" + fmt_u(p.min_msg) + ", " + fmt_u(p.max_msg) + "]",
+           fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});
+  }
+  {
+    auto p = run(true, cgm::MsgLayout::kStaggeredMatrix, small_slot, n, v);
+    t.row({"balanced + staggered (slots ~ 2N/v^2)",
+           "[" + fmt_u(p.min_msg) + ", " + fmt_u(p.max_msg) + "]",
+           fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});
+  }
+  {
+    auto p = run(false, cgm::MsgLayout::kChained, 0, n, v);
+    t.row({"unbalanced + chained",
+           "[" + fmt_u(p.min_msg) + ", " + fmt_u(p.max_msg) + "]",
+           fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});
+  }
+  {
+    auto p = run(true, cgm::MsgLayout::kChained, 0, n, v);
+    t.row({"balanced + chained",
+           "[" + fmt_u(p.min_msg) + ", " + fmt_u(p.max_msg) + "]",
+           fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape (Theorem 1 / Lemma 2): balancing narrows every"
+      " physical message into a tight band around N/v^2 bytes (here:"
+      " %zu-byte slots instead of %zu-byte slots — a factor ~v/2 smaller"
+      " reservation per (src,dst) pair) at the cost of exactly 2x"
+      " communication supersteps.\n",
+      small_slot, big_slot);
+  return 0;
+}

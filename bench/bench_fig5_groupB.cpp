@@ -1,0 +1,101 @@
+// Figure 5 Group B: the GIS / computational-geometry algorithms made
+// available by the simulation. For each problem we report the parallel I/O
+// count and its ratio to the streaming bound N/(DB): the paper's claim is
+// that every ratio is independent of N (no log_{M/B}(N/B) factor).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "geom/dominance.h"
+#include "geom/lower_envelope.h"
+#include "geom/maxima3d.h"
+#include "geom/nearest_neighbor.h"
+#include "geom/convex_hull.h"
+#include "geom/point.h"
+#include "geom/rect_union.h"
+#include "geom/segment_stab.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+using namespace emcgm::bench;
+
+namespace {
+
+struct Probe {
+  std::uint64_t ops;
+  std::uint64_t rounds;
+};
+
+template <typename Fn>
+Probe run(std::uint32_t v, std::uint32_t D, std::size_t B, Fn&& fn) {
+  cgm::Machine m(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+  fn(m);
+  return Probe{m.total().io.total_ops(), m.total().app_rounds};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t v = 8, D = 4;
+  const std::size_t B = 4096;
+  std::printf(
+      "Fig. 5 Group B: geometry/GIS algorithms, EM-CGM parallel I/O counts\n"
+      "v=8, p=1, D=4, B=4 KiB. ratio = ops / (input bytes/(D*B)); flat"
+      " ratios across N reproduce the table's O(N/(pDB)) claims.\n\n");
+
+  Table t({"problem", "N", "app rounds", "parallel I/Os", "ratio",
+           "ratio growth"});
+  auto sweep = [&](const std::string& name, auto&& runner,
+                   std::size_t rec_bytes) {
+    double prev = 0;
+    for (std::size_t n : {20000u, 40000u, 80000u}) {
+      auto p = run(v, D, B, [&](cgm::Machine& m) { runner(m, n); });
+      const double stream =
+          static_cast<double>(n) * rec_bytes / (D * B);
+      const double ratio = p.ops / stream;
+      t.row({name, fmt_u(n), fmt_u(p.rounds), fmt_u(p.ops), fmt(ratio, 2),
+             prev > 0 ? fmt(ratio / prev, 2) : "-"});
+      prev = ratio;
+    }
+  };
+
+  sweep("3D maxima", [](cgm::Machine& m, std::size_t n) {
+    geom::maxima3d(m, geom::random_points3(n, n));
+  }, sizeof(geom::Point3));
+
+  sweep("2D weighted dominance", [](cgm::Machine& m, std::size_t n) {
+    geom::dominance_counts(m, geom::random_wpoints2(n, n));
+  }, sizeof(geom::WPoint2));
+
+  sweep("union of rectangles", [](cgm::Machine& m, std::size_t n) {
+    geom::rect_union_area(m, geom::random_rects(n, n));
+  }, sizeof(geom::Rect));
+
+  sweep("all nearest neighbors", [](cgm::Machine& m, std::size_t n) {
+    geom::all_nearest_neighbors(m, geom::random_points2(n, n));
+  }, sizeof(geom::Point2));
+
+  sweep("lower envelope", [](cgm::Machine& m, std::size_t n) {
+    geom::lower_envelope(m, geom::random_noncrossing_segments(n, n));
+  }, sizeof(geom::Segment));
+
+  sweep("2D convex hull", [](cgm::Machine& m, std::size_t n) {
+    geom::convex_hull(m, geom::random_points2(n, n));
+  }, sizeof(geom::Point2));
+
+  sweep("interval stabbing", [](cgm::Machine& m, std::size_t n) {
+    auto iv = geom::random_intervals(n, n);
+    std::vector<geom::StabQuery> qs;
+    Rng rng(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      qs.push_back(geom::StabQuery{rng.next_double(), i});
+    }
+    geom::interval_stabbing(m, iv, qs);
+  }, sizeof(geom::Interval));
+
+  t.print();
+  std::printf(
+      "\nExpected shape: 'ratio growth' ~1.0 per doubling — I/O linear in"
+      " N, rounds independent of N (3D maxima's O(log v) rounds are fixed"
+      " for fixed v).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figures 6 and 7 (§1.4): the parameter surface N^{c-1} = v^c B^{c-1} —
+// the minimal problem size at which the log_{M/B}(N/B) factor of the PDM
+// sorting bound is a constant c, for M = N/v. Any point on or above the
+// surface admits the simulation's O(N/(pDB)) I/O.
+#include <cstdio>
+
+#include "algo/param_space.h"
+#include "bench/bench_util.h"
+
+using namespace emcgm;
+using namespace emcgm::bench;
+
+int main() {
+  std::printf(
+      "Fig. 6 reproduction: minimal N on the surface N = v^{c/(c-1)} * B"
+      " (items), B in items.\n\n");
+  for (double c : {2.0, 3.0}) {
+    Table t({"v \\ B", "100", "1000", "10000"});
+    for (double v : {10.0, 100.0, 1000.0, 10000.0}) {
+      std::vector<std::string> row{fmt(v, 0)};
+      for (double B : {100.0, 1000.0, 10000.0}) {
+        row.push_back(fmt_sci(algo::min_problem_size(v, B, c)));
+      }
+      t.row(row);
+    }
+    std::printf("c = %.0f:\n", c);
+    t.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Fig. 7 reproduction: the c = 2, B = 1000 slice (N as a function of"
+      " v).\n\n");
+  Table t({"v", "minimal N (items)", "paper's narrative"});
+  for (const auto& p : algo::fig7_slice(2.0, 1000.0, 10.0, 10000.0, 1)) {
+    std::string note;
+    if (p.v == 100) note = "~10 mega-items for v<=100 (paper: 'about 10'M)";
+    if (p.v == 10000) note = "~100 giga-items (paper: '100 giga-items')";
+    t.row({fmt(p.v, 0), fmt_sci(p.N), note});
+  }
+  t.print();
+
+  std::printf(
+      "\nSpot checks (paper §1.4): c=2, v=10^4 -> N = %.2e (expect ~1e11);"
+      " c=3, v=10^4 -> N = %.2e (expect ~1e9); c=2, v=100 -> N = %.2e"
+      " (expect ~1e7).\n",
+      algo::min_problem_size(1e4, 1e3, 2.0),
+      algo::min_problem_size(1e4, 1e3, 3.0),
+      algo::min_problem_size(1e2, 1e3, 2.0));
+  return 0;
+}

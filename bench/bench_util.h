@@ -1,0 +1,83 @@
+// Shared helpers for the figure-reproduction benchmarks: machine builders
+// and a fixed-width table printer that mirrors the paper's presentation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cgm/machine.h"
+#include "pdm/cost_model.h"
+
+namespace emcgm::bench {
+
+inline cgm::MachineConfig standard_config(std::uint32_t v, std::uint32_t p,
+                                          std::uint32_t D, std::size_t B) {
+  cgm::MachineConfig cfg;
+  cfg.v = v;
+  cfg.p = p;
+  cfg.disk.num_disks = D;
+  cfg.disk.block_bytes = B;
+  return cfg;
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&] {
+      std::printf("+");
+      for (auto w : width) {
+        for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& r : rows_) print_row(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double x, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, x);
+  return buf;
+}
+
+inline std::string fmt_sci(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", x);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t x) { return std::to_string(x); }
+
+}  // namespace emcgm::bench

@@ -1,0 +1,61 @@
+#include "algo/param_space.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace emcgm::algo {
+
+double log_ratio(double N, double M, double B) {
+  EMCGM_CHECK(N > 0 && M > B && B >= 1);
+  const double base = M / B;
+  const double arg = N / B;
+  if (arg <= 1.0) return 0.0;
+  return std::log(arg) / std::log(base);
+}
+
+bool log_term_bounded(double N, double v, double B, double c) {
+  EMCGM_CHECK(v >= 1 && B >= 1 && c >= 1);
+  const double M = N / v;
+  if (M <= B) return false;  // a virtual processor must hold > one block
+  return std::pow(M / B, c) >= N / B;
+}
+
+double min_problem_size(double v, double B, double c) {
+  EMCGM_CHECK(v >= 1 && B >= 1 && c > 1);
+  return std::pow(v, c / (c - 1.0)) * B;
+}
+
+namespace {
+
+std::vector<double> log_grid(double lo, double hi, int steps_per_decade) {
+  std::vector<double> xs;
+  const double step = std::pow(10.0, 1.0 / steps_per_decade);
+  for (double x = lo; x <= hi * 1.0000001; x *= step) xs.push_back(x);
+  return xs;
+}
+
+}  // namespace
+
+std::vector<SurfacePoint> fig6_surface(double c, double v_min, double v_max,
+                                       double B_min, double B_max,
+                                       int steps_per_decade) {
+  std::vector<SurfacePoint> pts;
+  for (double v : log_grid(v_min, v_max, steps_per_decade)) {
+    for (double B : log_grid(B_min, B_max, steps_per_decade)) {
+      pts.push_back(SurfacePoint{v, B, min_problem_size(v, B, c)});
+    }
+  }
+  return pts;
+}
+
+std::vector<SurfacePoint> fig7_slice(double c, double B, double v_min,
+                                     double v_max, int steps_per_decade) {
+  std::vector<SurfacePoint> pts;
+  for (double v : log_grid(v_min, v_max, steps_per_decade)) {
+    pts.push_back(SurfacePoint{v, B, min_problem_size(v, B, c)});
+  }
+  return pts;
+}
+
+}  // namespace emcgm::algo

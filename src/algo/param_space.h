@@ -1,0 +1,40 @@
+// The paper's §1.4 parameter-space analysis (Figs. 6 and 7): the
+// log_{M/B}(N/B) factor in the sorting/permutation I/O bounds is at most a
+// constant c exactly when (M/B)^c >= N/B with M = N/v. Substituting and
+// simplifying yields the surface N^{c-1} = v^c * B^{c-1}, i.e. the minimal
+// admissible problem size N = v^{c/(c-1)} * B (all quantities in items).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emcgm::algo {
+
+/// log_{M/B}(N/B): the number of merge passes of external mergesort, and
+/// the factor the CGM simulation removes inside the coarse-grained range.
+double log_ratio(double N, double M, double B);
+
+/// True when the logarithmic factor is bounded by c for problem size N on
+/// v (virtual) processors with block size B and M = N/v.
+bool log_term_bounded(double N, double v, double B, double c);
+
+/// Minimal N on the Fig. 6 surface: N = v^{c/(c-1)} * B.
+double min_problem_size(double v, double B, double c);
+
+struct SurfacePoint {
+  double v;
+  double B;
+  double N;  ///< minimal problem size at (v, B)
+};
+
+/// Sample the Fig. 6 surface over logarithmic grids of v and B.
+std::vector<SurfacePoint> fig6_surface(double c, double v_min, double v_max,
+                                       double B_min, double B_max,
+                                       int steps_per_decade = 4);
+
+/// The Fig. 7 slice: fixed c and B, N as a function of v.
+std::vector<SurfacePoint> fig7_slice(double c, double B, double v_min,
+                                     double v_max,
+                                     int steps_per_decade = 8);
+
+}  // namespace emcgm::algo

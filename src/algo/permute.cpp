@@ -1,0 +1,4 @@
+#include "algo/permute.h"
+
+// Header-only templates; this translation unit anchors the component.
+namespace emcgm::algo {}

@@ -1,0 +1,86 @@
+// Communication idioms used inside CGM program rounds: broadcast,
+// (all-)gather, personalized all-to-all, and index-tagged routing. Each of
+// these is one h-relation; host programs sequence them through their phase
+// machines, so the helpers themselves are stateless.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cgm/proc_ctx.h"
+#include "util/math.h"
+
+namespace emcgm::prim {
+
+/// Broadcast: queue the same items for every processor (including self).
+/// One h-relation with h = v * |items| at the sender; in CGM algorithms the
+/// broadcast payload is O(v) (splitters, counts), so h = O(v^2) <= O(N/v)
+/// under the usual N >= v^3 slackness.
+template <typename T>
+void send_all(cgm::ProcCtx& ctx, std::span<const T> items) {
+  for (std::uint32_t j = 0; j < ctx.nprocs(); ++j) {
+    ctx.send_items<T>(j, items);
+  }
+}
+
+template <typename T>
+void send_all(cgm::ProcCtx& ctx, const std::vector<T>& items) {
+  send_all<T>(ctx, std::span<const T>(items));
+}
+
+/// Receive one vector per source processor (empty where nothing arrived).
+template <typename T>
+std::vector<std::vector<T>> recv_by_src(const cgm::ProcCtx& ctx) {
+  std::vector<std::vector<T>> out(ctx.nprocs());
+  for (const auto& m : ctx.inbox()) {
+    out[m.src] = bytes_to_vec<T>(m.payload);
+  }
+  return out;
+}
+
+/// An item routed by explicit global index (CGMPermute-style traffic).
+template <typename T>
+struct Tagged {
+  std::uint64_t idx;
+  T val;
+};
+
+/// Exclusive prefix sum of a dense per-processor value table (the second
+/// half of the canonical two-round CGM scan: all-gather the v totals, then
+/// every processor computes offsets locally).
+inline std::vector<std::uint64_t> exclusive_prefix(
+    const std::vector<std::uint64_t>& counts) {
+  std::vector<std::uint64_t> prefix(counts.size(), 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    prefix[i] = acc;
+    acc += counts[i];
+  }
+  return prefix;
+}
+
+/// Route contiguous, rank-ordered items to their rank-chunk owners: item
+/// with global rank r (ranks first_rank .. first_rank+n-1 locally) goes to
+/// chunk_owner(total, v, r). Sends at most one message per destination.
+/// Used by the rebalancing round of sort and by several graph algorithms.
+template <typename T>
+void send_by_rank(cgm::ProcCtx& ctx, std::span<const T> items,
+                  std::uint64_t first_rank, std::uint64_t total) {
+  const std::uint32_t v = ctx.nprocs();
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const std::uint64_t rank = first_rank + i;
+    const std::uint32_t owner =
+        static_cast<std::uint32_t>(chunk_owner(total, v, rank));
+    const std::uint64_t owner_end = chunk_begin(total, v, owner) +
+                                    chunk_size(total, v, owner);
+    const std::size_t run =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            items.size() - i, owner_end - rank));
+    ctx.send_items<T>(owner, items.subspan(i, run));
+    i += run;
+  }
+}
+
+}  // namespace emcgm::prim

@@ -1,0 +1,12 @@
+#include "algo/sort.h"
+
+namespace emcgm::algo {
+
+std::vector<std::uint64_t> sort_keys(cgm::Machine& m,
+                                     const std::vector<std::uint64_t>& keys) {
+  auto dv = m.scatter<std::uint64_t>(keys);
+  auto sorted = sample_sort<std::uint64_t>(m, std::move(dv));
+  return m.gather(sorted);
+}
+
+}  // namespace emcgm::algo

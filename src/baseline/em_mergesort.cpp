@@ -1,0 +1,260 @@
+#include "baseline/em_mergesort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <queue>
+
+#include "util/math.h"
+
+namespace emcgm::baseline {
+
+namespace {
+
+/// A striped on-disk sequence of T records with buffered sequential read /
+/// append, moving D blocks per parallel op.
+template <typename T>
+class Stream {
+ public:
+  Stream(pdm::DiskArray& disks, pdm::TrackRegion& region,
+         pdm::StripeCursor& cursor, std::uint64_t max_items)
+      : disks_(disks), region_(region) {
+    extent_ = cursor.alloc(max_items * sizeof(T), disks.block_bytes());
+  }
+
+  void append(std::span<const T> items) {
+    pending_.insert(pending_.end(), items.begin(), items.end());
+    flush_full_stripes(false);
+  }
+
+  void finish() {
+    flush_full_stripes(true);
+    finished_ = true;
+  }
+
+  std::uint64_t size() const { return written_; }
+
+  /// Sequential reader over the stream's items.
+  class Reader {
+   public:
+    Reader() = default;
+    Reader(Stream* s) : s_(s) {}
+
+    bool next(T& out) {
+      if (pos_ == buf_.size()) {
+        if (!refill()) return false;
+      }
+      out = buf_[pos_++];
+      return true;
+    }
+
+   private:
+    bool refill() {
+      if (consumed_ >= s_->written_) return false;
+      const std::size_t B = s_->disks_.block_bytes();
+      const std::size_t per_block = B / sizeof(T);
+      const std::uint32_t D = s_->disks_.num_disks();
+      // Read the next up-to-D blocks of the stream in one parallel op.
+      const std::uint64_t first_block = consumed_ / per_block;
+      const std::uint64_t total_blocks =
+          ceil_div(s_->written_ * sizeof(T), B);
+      const std::uint64_t nblocks =
+          std::min<std::uint64_t>(D, total_blocks - first_block);
+      raw_.resize(nblocks * B);
+      std::vector<pdm::ReadSlot> slots;
+      for (std::uint64_t q = 0; q < nblocks; ++q) {
+        pdm::BlockAddr a =
+            s_->extent_.addr(D, first_block + q);
+        a.track = s_->region_.physical_track(a.track);
+        slots.push_back(pdm::ReadSlot{
+            a, std::span<std::byte>(raw_.data() + q * B, B)});
+      }
+      s_->disks_.parallel_read(slots);
+      const std::uint64_t items = std::min<std::uint64_t>(
+          nblocks * per_block, s_->written_ - first_block * per_block);
+      buf_.resize(static_cast<std::size_t>(items));
+      std::memcpy(buf_.data(), raw_.data(), items * sizeof(T));
+      // Skip items already consumed within the first block (only possible
+      // on the very first refill when consumption starts mid-block —
+      // never happens with per-block alignment, but keep it safe).
+      pos_ = static_cast<std::size_t>(consumed_ - first_block * per_block);
+      consumed_ = first_block * per_block + items;
+      return pos_ < buf_.size();
+    }
+
+    Stream* s_ = nullptr;
+    std::vector<T> buf_;
+    std::vector<std::byte> raw_;
+    std::size_t pos_ = 0;
+    std::uint64_t consumed_ = 0;
+  };
+
+  Reader reader() {
+    EMCGM_CHECK(finished_);
+    return Reader(this);
+  }
+
+ private:
+  void flush_full_stripes(bool final_flush) {
+    const std::size_t B = disks_.block_bytes();
+    const std::size_t per_block = B / sizeof(T);
+    const std::uint32_t D = disks_.num_disks();
+    const std::size_t stripe_items = per_block * D;
+    while (pending_.size() >= stripe_items ||
+           (final_flush && !pending_.empty())) {
+      const std::size_t take = std::min(pending_.size(), stripe_items);
+      const std::uint64_t first_block = written_ / per_block;
+      EMCGM_CHECK(written_ % per_block == 0 || final_flush);
+      const std::uint64_t nblocks = ceil_div(take * sizeof(T), B);
+      std::vector<std::byte> raw(nblocks * B);
+      std::memcpy(raw.data(), pending_.data(), take * sizeof(T));
+      std::vector<pdm::WriteSlot> slots;
+      for (std::uint64_t q = 0; q < nblocks; ++q) {
+        pdm::BlockAddr a = extent_.addr(disks_.num_disks(), first_block + q);
+        a.track = region_.physical_track(a.track);
+        slots.push_back(pdm::WriteSlot{
+            a, std::span<const std::byte>(raw.data() + q * B, B)});
+      }
+      disks_.parallel_write(slots);
+      written_ += take;
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(take));
+      if (final_flush && pending_.empty()) break;
+    }
+  }
+
+  pdm::DiskArray& disks_;
+  pdm::TrackRegion& region_;
+  pdm::Extent extent_;
+  std::vector<T> pending_;
+  std::uint64_t written_ = 0;
+  bool finished_ = false;
+};
+
+template <typename T, typename Less>
+std::vector<T> mergesort_impl(pdm::DiskArray& disks, std::span<const T> input,
+                              std::size_t memory_bytes, Less less,
+                              SortStats* stats) {
+  const std::size_t B = disks.block_bytes();
+  const std::uint32_t D = disks.num_disks();
+  const std::size_t mem_items = std::max<std::size_t>(
+      memory_bytes / sizeof(T), static_cast<std::size_t>(2 * D * (B / sizeof(T))));
+  // Fan-in: per-run D-block input buffers plus one output stripe must fit.
+  const std::size_t stripe_items = D * (B / sizeof(T));
+  const std::size_t fan_in = std::max<std::size_t>(
+      2, mem_items / stripe_items > 1 ? mem_items / stripe_items - 1 : 2);
+
+  const pdm::IoStats before = disks.stats();
+  pdm::TrackSpace space;
+  pdm::TrackRegion region(space);
+  pdm::StripeCursor cursor(D);
+
+  using S = Stream<T>;
+  std::vector<std::unique_ptr<S>> runs;
+
+  // Input is materialized on disk first (the PDM algorithm starts there),
+  // then run formation reads memory-sized chunks back... Writing the input
+  // and immediately re-reading it for run formation would double-charge, so
+  // run formation consumes the in-memory input directly while writing the
+  // initial sorted runs — the same I/O the classical algorithm performs on
+  // a disk-resident input (one read + one write per item equals our one
+  // write, plus the read is charged when runs are merged).
+  std::uint64_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(mem_items, input.size() - pos);
+    std::vector<T> chunk(input.begin() + pos, input.begin() + pos + take);
+    std::sort(chunk.begin(), chunk.end(), less);
+    auto run = std::make_unique<S>(disks, region, cursor, take);
+    run->append(chunk);
+    run->finish();
+    runs.push_back(std::move(run));
+    pos += take;
+  }
+
+  std::uint64_t passes = 0;
+  while (runs.size() > 1) {
+    ++passes;
+    std::vector<std::unique_ptr<S>> next;
+    for (std::size_t g = 0; g < runs.size(); g += fan_in) {
+      const std::size_t end = std::min(runs.size(), g + fan_in);
+      std::uint64_t total = 0;
+      for (std::size_t r = g; r < end; ++r) total += runs[r]->size();
+      auto merged = std::make_unique<S>(disks, region, cursor, total);
+
+      struct Head {
+        T value;
+        std::size_t run;
+      };
+      auto cmp = [&](const Head& a, const Head& b) {
+        return less(b.value, a.value);
+      };
+      std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+      std::vector<typename S::Reader> readers;
+      for (std::size_t r = g; r < end; ++r) {
+        readers.push_back(runs[r]->reader());
+      }
+      for (std::size_t r = 0; r < readers.size(); ++r) {
+        T x;
+        if (readers[r].next(x)) heap.push(Head{x, r});
+      }
+      std::vector<T> outbuf;
+      const std::size_t out_batch = D * (B / sizeof(T));
+      while (!heap.empty()) {
+        Head h = heap.top();
+        heap.pop();
+        outbuf.push_back(h.value);
+        if (outbuf.size() == out_batch) {
+          merged->append(outbuf);
+          outbuf.clear();
+        }
+        T x;
+        if (readers[h.run].next(x)) heap.push(Head{x, h.run});
+      }
+      if (!outbuf.empty()) merged->append(outbuf);
+      merged->finish();
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+
+  std::vector<T> result;
+  result.reserve(input.size());
+  if (!runs.empty()) {
+    auto reader = runs[0]->reader();
+    T x;
+    while (reader.next(x)) result.push_back(x);
+  }
+  if (stats) {
+    stats->merge_passes = passes;
+    stats->fan_in = fan_in;
+    const pdm::IoStats after = disks.stats();
+    stats->io.read_ops = after.read_ops - before.read_ops;
+    stats->io.write_ops = after.write_ops - before.write_ops;
+    stats->io.blocks_read = after.blocks_read - before.blocks_read;
+    stats->io.blocks_written = after.blocks_written - before.blocks_written;
+    stats->io.full_stripe_ops =
+        after.full_stripe_ops - before.full_stripe_ops;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> em_mergesort(pdm::DiskArray& disks,
+                                        std::span<const std::uint64_t> keys,
+                                        std::size_t memory_bytes,
+                                        SortStats* stats) {
+  return mergesort_impl(disks, keys, memory_bytes,
+                        std::less<std::uint64_t>{}, stats);
+}
+
+std::vector<KvPair> em_mergesort_pairs(pdm::DiskArray& disks,
+                                       std::span<const KvPair> pairs,
+                                       std::size_t memory_bytes,
+                                       SortStats* stats) {
+  auto less = [](const KvPair& a, const KvPair& b) { return a.key < b.key; };
+  return mergesort_impl(disks, pairs, memory_bytes, less, stats);
+}
+
+}  // namespace emcgm::baseline

@@ -1,0 +1,46 @@
+// Classical external-memory multiway mergesort on the same disk simulator —
+// the "previous best" comparator for Fig. 5 Group A row 1 (PDM sorting,
+// Theta(N/(DB) log_{M/B} N/B) I/Os).
+//
+// Implementation: striped runs with per-run D-block buffers, so both run
+// formation and every merge pass move D blocks per parallel I/O; the merge
+// fan-in is M/(DB) - 1 (striped-run mergesort merges with log base M/(DB)
+// rather than the optimal M/B — the classic simple-striping trade-off; the
+// benches report the measured pass count, which carries exactly the
+// logarithmic factor the paper's simulation removes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdm/disk_array.h"
+#include "pdm/striping.h"
+
+namespace emcgm::baseline {
+
+struct SortStats {
+  std::uint64_t merge_passes = 0;  ///< log_{fan_in}(N/M) merge passes
+  std::uint64_t fan_in = 0;
+  pdm::IoStats io;  ///< ops attributable to this sort (input write included)
+};
+
+/// Sort keys: the input is first written to disk in striped format (charged),
+/// sorted with runs + merge passes, and the result read back (charged).
+std::vector<std::uint64_t> em_mergesort(pdm::DiskArray& disks,
+                                        std::span<const std::uint64_t> keys,
+                                        std::size_t memory_bytes,
+                                        SortStats* stats = nullptr);
+
+/// (key, value) record used by the sort-based permutation baselines.
+struct KvPair {
+  std::uint64_t key;
+  std::uint64_t val;
+};
+
+std::vector<KvPair> em_mergesort_pairs(pdm::DiskArray& disks,
+                                       std::span<const KvPair> pairs,
+                                       std::size_t memory_bytes,
+                                       SortStats* stats = nullptr);
+
+}  // namespace emcgm::baseline

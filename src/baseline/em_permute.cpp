@@ -1,0 +1,129 @@
+#include "baseline/em_permute.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pdm/striping.h"
+#include "util/math.h"
+
+namespace emcgm::baseline {
+
+std::vector<std::uint64_t> naive_permute(
+    pdm::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> targets, std::size_t memory_bytes) {
+  EMCGM_CHECK(values.size() == targets.size());
+  const std::size_t B = disks.block_bytes();
+  const std::size_t per_block = B / sizeof(std::uint64_t);
+  const std::uint32_t D = disks.num_disks();
+  const std::uint64_t n = values.size();
+  const std::uint64_t nblocks = ceil_div(n * sizeof(std::uint64_t), B);
+
+  pdm::TrackSpace space;
+  pdm::TrackRegion region(space);
+  auto block_addr = [&](std::uint64_t blk) {
+    pdm::BlockAddr a{static_cast<std::uint32_t>(blk % D), blk / D};
+    a.track = region.physical_track(a.track);
+    return a;
+  };
+
+  // Process the input in memory-sized batches; each item lands in its
+  // destination block by read-modify-write, batched one-block-per-disk.
+  const std::size_t batch_items =
+      std::max<std::size_t>(memory_bytes / (3 * B) * per_block, D * per_block);
+  std::vector<std::byte> blkbuf;
+  std::uint64_t pos = 0;
+  while (pos < n) {
+    const std::uint64_t take = std::min<std::uint64_t>(batch_items, n - pos);
+    // Group this batch's items by destination block.
+    struct Item {
+      std::uint64_t blk, off, val;
+    };
+    std::vector<Item> items;
+    items.reserve(static_cast<std::size_t>(take));
+    for (std::uint64_t i = 0; i < take; ++i) {
+      const std::uint64_t t = targets[pos + i];
+      items.push_back(Item{t / per_block, t % per_block, values[pos + i]});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.blk < b.blk; });
+    // One read-modify-write per touched block, batched D at a time with
+    // distinct disks per op (greedy round-robin over per-disk queues).
+    std::vector<std::pair<std::uint64_t, std::pair<std::size_t, std::size_t>>>
+        groups;  // (block, [begin, end) in items)
+    for (std::size_t i = 0; i < items.size();) {
+      std::size_t j = i;
+      while (j < items.size() && items[j].blk == items[i].blk) ++j;
+      groups.emplace_back(items[i].blk, std::make_pair(i, j));
+      i = j;
+    }
+    std::vector<std::vector<std::size_t>> by_disk(D);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      by_disk[groups[g].first % D].push_back(g);
+    }
+    std::vector<std::size_t> next(D, 0);
+    blkbuf.resize(D * B);
+    for (;;) {
+      std::vector<std::size_t> round;
+      for (std::uint32_t d = 0; d < D; ++d) {
+        if (next[d] < by_disk[d].size()) round.push_back(by_disk[d][next[d]++]);
+      }
+      if (round.empty()) break;
+      std::vector<pdm::ReadSlot> reads;
+      for (std::size_t k = 0; k < round.size(); ++k) {
+        reads.push_back(pdm::ReadSlot{
+            block_addr(groups[round[k]].first),
+            std::span<std::byte>(blkbuf.data() + k * B, B)});
+      }
+      disks.parallel_read(reads);
+      std::vector<pdm::WriteSlot> writes;
+      for (std::size_t k = 0; k < round.size(); ++k) {
+        auto* data =
+            reinterpret_cast<std::uint64_t*>(blkbuf.data() + k * B);
+        const auto [begin, end] = groups[round[k]].second;
+        for (std::size_t i = begin; i < end; ++i) {
+          data[items[i].off] = items[i].val;
+        }
+        writes.push_back(pdm::WriteSlot{
+            block_addr(groups[round[k]].first),
+            std::span<const std::byte>(blkbuf.data() + k * B, B)});
+      }
+      disks.parallel_write(writes);
+    }
+    pos += take;
+  }
+
+  // Read the result back (striped, fully parallel).
+  std::vector<std::uint64_t> result(n);
+  std::vector<std::byte> raw(nblocks * B);
+  std::vector<pdm::ReadSlot> slots;
+  for (std::uint64_t q = 0; q < nblocks; ++q) {
+    slots.push_back(pdm::ReadSlot{
+        block_addr(q), std::span<std::byte>(raw.data() + q * B, B)});
+    if (slots.size() == D || q + 1 == nblocks) {
+      disks.parallel_read(slots);
+      slots.clear();
+    }
+  }
+  std::memcpy(result.data(), raw.data(), n * sizeof(std::uint64_t));
+  return result;
+}
+
+std::vector<std::uint64_t> sort_permute(
+    pdm::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> targets, std::size_t memory_bytes,
+    SortStats* stats) {
+  EMCGM_CHECK(values.size() == targets.size());
+  std::vector<KvPair> pairs(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    pairs[i] = KvPair{targets[i], values[i]};
+  }
+  auto sorted = em_mergesort_pairs(disks, pairs, memory_bytes, stats);
+  std::vector<std::uint64_t> result(values.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EMCGM_CHECK_MSG(sorted[i].key == i, "targets are not a permutation");
+    result[i] = sorted[i].val;
+  }
+  return result;
+}
+
+}  // namespace emcgm::baseline

@@ -1,0 +1,30 @@
+// Classical PDM permutation baselines (Fig. 5 Group A row 2). The PDM
+// bound is Theta(min(N/D, N/(DB) log_{M/B} N/B)):
+//   - naive_permute realizes the N/D branch: items are placed one at a time
+//     with read-modify-write of the destination block, batched greedily
+//     over the D disks (~2N/D parallel ops);
+//   - sort_permute realizes the sorting branch: (target, value) pairs are
+//     external-mergesorted by target, making the output a sequential
+//     striped write.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/em_mergesort.h"
+#include "pdm/disk_array.h"
+
+namespace emcgm::baseline {
+
+/// Permute values so that result[targets[i]] = values[i].
+std::vector<std::uint64_t> naive_permute(
+    pdm::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> targets, std::size_t memory_bytes);
+
+std::vector<std::uint64_t> sort_permute(
+    pdm::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> targets, std::size_t memory_bytes,
+    SortStats* stats = nullptr);
+
+}  // namespace emcgm::baseline

@@ -1,0 +1,44 @@
+#include "baseline/em_transpose.h"
+
+#include "baseline/em_permute.h"
+#include "util/error.h"
+
+namespace emcgm::baseline {
+
+namespace {
+
+std::vector<std::uint64_t> transpose_targets(std::uint64_t rows,
+                                             std::uint64_t cols) {
+  std::vector<std::uint64_t> t(static_cast<std::size_t>(rows * cols));
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      t[static_cast<std::size_t>(r * cols + c)] = c * rows + r;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> naive_transpose(pdm::DiskArray& disks,
+                                           std::span<const std::uint64_t> mat,
+                                           std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           std::size_t memory_bytes) {
+  EMCGM_CHECK(mat.size() == rows * cols);
+  const auto targets = transpose_targets(rows, cols);
+  return naive_permute(disks, mat, targets, memory_bytes);
+}
+
+std::vector<std::uint64_t> sort_transpose(pdm::DiskArray& disks,
+                                          std::span<const std::uint64_t> mat,
+                                          std::uint64_t rows,
+                                          std::uint64_t cols,
+                                          std::size_t memory_bytes,
+                                          SortStats* stats) {
+  EMCGM_CHECK(mat.size() == rows * cols);
+  const auto targets = transpose_targets(rows, cols);
+  return sort_permute(disks, mat, targets, memory_bytes, stats);
+}
+
+}  // namespace emcgm::baseline

@@ -1,0 +1,29 @@
+// Classical PDM matrix-transpose baselines (Fig. 5 Group A row 3,
+// Theta(N/(DB) log_{M/B} min(M, rows, cols, N/B)) in general): realized
+// here through the permutation baselines with the computed index map
+// (r, c) -> c * rows + r.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/em_mergesort.h"
+#include "pdm/disk_array.h"
+
+namespace emcgm::baseline {
+
+std::vector<std::uint64_t> naive_transpose(pdm::DiskArray& disks,
+                                           std::span<const std::uint64_t> mat,
+                                           std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           std::size_t memory_bytes);
+
+std::vector<std::uint64_t> sort_transpose(pdm::DiskArray& disks,
+                                          std::span<const std::uint64_t> mat,
+                                          std::uint64_t rows,
+                                          std::uint64_t cols,
+                                          std::size_t memory_bytes,
+                                          SortStats* stats = nullptr);
+
+}  // namespace emcgm::baseline

@@ -1,0 +1,90 @@
+// BSP-family cost accounting and the paper's §5 conversions.
+//
+// The paper's Appendix (§6.1-§6.4) defines the BSP, BSP*, CGM, and
+// EM-{BSP,BSP*,CGM} cost models and the c-optimality criteria used in
+// Theorems 2-3. This module evaluates those cost expressions over the
+// statistics an engine records, so a run can be judged against the model:
+//
+//   T_comm(BSP)  = sum_i max(L, g * h_i)              (h_i in bytes here)
+//   T_comm(BSP*) = sum_i max(L, g * h_i * ceil-penalty(b))   [messages
+//                  shorter than the block parameter b are charged as b]
+//   T_io(EM)     = G * (parallel I/O ops)
+//
+// §5 items (1)-(3): a "conforming" BSP algorithm — one whose every
+// communication superstep is bounded by an h-relation — converts to a
+// BSP* algorithm with minimum message size b = h_min/v - (v-1)/2 via
+// BalancedRouting (Corollary 1), and to an EM algorithm preserving
+// c-optimality. conforming_* below verify the preconditions on recorded
+// runs, and bsp_star_block_size gives the b the conversion guarantees.
+#pragma once
+
+#include <cstdint>
+
+#include "cgm/comm_stats.h"
+#include "cgm/engine.h"
+
+namespace emcgm::cgm {
+
+/// Machine parameters of the BSP-like cost models (paper §6.1-§6.3).
+/// Times are in abstract "computation unit" ticks; g is per byte here
+/// (the paper's per-item g times the item size).
+struct BspParams {
+  double g = 1.0;    ///< router throughput cost per byte
+  double L = 100.0;  ///< superstep latency / synchronization time
+  double G = 1000.0; ///< time per parallel I/O of D*B bytes (EM models)
+  std::uint64_t bsp_star_b = 0;  ///< BSP* block parameter b (bytes)
+};
+
+/// Cost report for one recorded run.
+struct BspCost {
+  double t_comm = 0;      ///< BSP communication time
+  double t_comm_star = 0; ///< BSP* communication time (b-penalized)
+  double t_io = 0;        ///< EM I/O time (G per parallel op)
+  double t_sync = 0;      ///< lambda * L
+  std::uint64_t supersteps = 0;
+};
+
+/// Evaluate the model costs over a run's statistics.
+BspCost evaluate_bsp_cost(const RunResult& run, const BspParams& params);
+
+/// A recorded run is "conforming" (paper §5) when every communication
+/// superstep's h (max bytes sent/received by one processor) is bounded by
+/// h_bound. Returns the largest observed h for diagnostics via *observed.
+bool conforming(const CommStats& comm, std::uint64_t h_bound,
+                std::uint64_t* observed = nullptr);
+
+/// Corollary 1: the minimum message size BalancedRouting guarantees when
+/// each processor's per-superstep volume is at least h_min bytes over v
+/// processors: b = h_min/v - (v-1)/2 (0 if the guarantee is vacuous).
+std::uint64_t bsp_star_block_size(std::uint64_t h_min, std::uint32_t v);
+
+/// Lemma 1: the minimum problem size (bytes) that assures minimum message
+/// size b_min on v processors: N >= v^2 * b_min + v^2 (v-1) / 2.
+std::uint64_t lemma1_min_problem_bytes(std::uint64_t b_min, std::uint32_t v);
+
+/// Fraction of physical messages in a recorded run meeting the BSP* block
+/// parameter b (1.0 when every non-empty message carried >= b bytes).
+double bsp_star_compliance(const CommStats& comm, std::uint64_t b);
+
+/// Per-round Corollary 1 compliance: the fraction of non-empty
+/// communication supersteps whose minimum message meets that round's own
+/// guarantee h/v - (v-1)/2 (within the fragment-header slack). Balanced
+/// runs of conforming algorithms score 1.0; raw h-relations with skewed
+/// or tiny messages do not.
+double corollary1_compliance(const CommStats& comm, std::uint32_t v);
+
+/// c-optimality check (paper §6.4, Definition 1): given the sequential
+/// work time t_seq (same ticks as the params), a run is c-optimal when
+/// computation <= c * t_seq / p and both communication and I/O are o(.) of
+/// it — evaluated here as simple ratios the caller can threshold.
+struct OptimalityRatios {
+  double phi = 0;  ///< computation / (t_seq / p)      — want <= c
+  double xi = 0;   ///< communication / (t_seq / p)    — want -> 0
+  double eta = 0;  ///< I/O / (t_seq / p)              — want -> 0
+};
+
+OptimalityRatios optimality_ratios(const RunResult& run,
+                                   const BspParams& params, double t_comp,
+                                   double t_seq, std::uint32_t p);
+
+}  // namespace emcgm::cgm

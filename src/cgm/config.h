@@ -1,0 +1,70 @@
+// Machine configuration shared by both engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pdm/backend.h"
+#include "pdm/geometry.h"
+#include "util/error.h"
+
+namespace emcgm::cgm {
+
+/// How the EM engine lays generated messages out on the disks.
+enum class MsgLayout {
+  /// Paper Fig. 2: fixed-size slots per (src, dst) pair, staggered so that
+  /// writes by source and reads by destination are both fully parallel.
+  /// Requires a bound on the per-pair message size — guaranteed by balanced
+  /// routing (Lemma 2) or by an explicit program hint.
+  kStaggeredMatrix,
+  /// Chained striped extents with an in-memory O(v^2) directory; handles
+  /// arbitrary (unbalanced) message sizes, writes fully parallel, reads pay
+  /// at most one partial op per message.
+  kChained,
+};
+
+struct MachineConfig {
+  std::uint32_t v = 4;  ///< virtual processors (the simulated CGM machine)
+  std::uint32_t p = 1;  ///< real processors (EM-CGM target machine)
+
+  /// Per-real-processor disk subsystem (the paper's D and B).
+  pdm::DiskGeometry disk{};
+
+  /// Local memory per real processor in bytes (the paper's M); 0 disables
+  /// the residency check. The EM engine verifies context + inbox + outbox of
+  /// the virtual processor being simulated fit in M.
+  std::size_t memory_bytes = 0;
+
+  /// Replace every application h-relation by two balanced rounds
+  /// (Algorithm 1 / Lemma 2).
+  bool balanced_routing = false;
+
+  MsgLayout layout = MsgLayout::kChained;
+
+  /// Fixed slot capacity (bytes) per (src, dst) pair for the staggered
+  /// matrix layout. 0 derives a bound from the input size assuming balanced
+  /// routing (2N/v^2 plus fragment-header slack, Lemma 2); a message larger
+  /// than its slot is a hard error. Ignored by the chained layout.
+  std::size_t staggered_slot_bytes = 0;
+
+  /// Observation 2: reuse one physical copy of the staggered message matrix
+  /// by alternating orientation between supersteps.
+  bool single_copy_matrix = false;
+
+  pdm::BackendKind backend = pdm::BackendKind::kMemory;
+  std::string file_dir;  ///< directory for BackendKind::kFile
+
+  bool use_threads = false;  ///< run real processors on std::thread
+
+  std::uint64_t seed = 1;  ///< seed for randomized algorithm steps
+
+  void validate() const {
+    EMCGM_CHECK_MSG(v >= 1, "need at least one virtual processor");
+    EMCGM_CHECK_MSG(p >= 1 && p <= v, "need 1 <= p <= v");
+    EMCGM_CHECK_MSG(v % p == 0,
+                    "p must divide v (paper §2.2 exposition assumption)");
+    disk.validate();
+  }
+};
+
+}  // namespace emcgm::cgm

@@ -1,0 +1,77 @@
+// Abstract execution engine for CGM programs. Two implementations:
+//  * NativeEngine (cgm/native_engine.h): an in-memory CGM machine — the
+//    paper's conventional parallel comparator (Fig. 3a).
+//  * EmEngine (emcgm/em_engine.h): the paper's contribution — Algorithms
+//    2 and 3, simulating the v virtual processors on p real processors with
+//    D disks each, all communication carried by parallel disk I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/comm_stats.h"
+#include "cgm/config.h"
+#include "cgm/message.h"
+#include "cgm/program.h"
+#include "pdm/io_stats.h"
+
+namespace emcgm::cgm {
+
+/// One logical value distributed over the v virtual processors: parts[j] is
+/// virtual processor j's partition, as raw bytes.
+struct PartitionSet {
+  std::vector<std::vector<std::byte>> parts;
+};
+
+struct RunResult {
+  std::uint64_t app_rounds = 0;   ///< compound supersteps of the CGM program
+  std::uint64_t comm_steps = 0;   ///< physical communication supersteps
+                                  ///< (2x app rounds under balanced routing)
+  CommStats comm;                 ///< per physical superstep
+  pdm::IoStats io;                ///< summed over real processors (EM only)
+  /// I/O per physical superstep (EM engine; the final entry covers output
+  /// collection). Sums to `io`.
+  std::vector<pdm::IoStats> io_per_step;
+  double wall_s = 0.0;
+
+  RunResult& operator+=(const RunResult& o) {
+    app_rounds += o.app_rounds;
+    comm_steps += o.comm_steps;
+    comm += o.comm;
+    io += o.io;
+    io_per_step.insert(io_per_step.end(), o.io_per_step.begin(),
+                       o.io_per_step.end());
+    wall_s += o.wall_s;
+    return *this;
+  }
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const MachineConfig& config() const = 0;
+
+  /// Run the program to completion. inputs[k].parts[j] is input slot k of
+  /// virtual processor j (each PartitionSet must have exactly v parts).
+  /// Returns the output slots, one PartitionSet per slot index used.
+  virtual std::vector<PartitionSet> run(const Program& program,
+                                        std::vector<PartitionSet> inputs) = 0;
+
+  /// Statistics of the most recent run().
+  virtual const RunResult& last_result() const = 0;
+
+  /// Statistics accumulated over every run() since construction — a chained
+  /// pipeline of programs is one longer CGM algorithm, so its lambda and I/O
+  /// are the accumulated values.
+  virtual const RunResult& total() const = 0;
+
+  virtual void reset_totals() = 0;
+};
+
+/// Accumulate per-superstep communication statistics from a delivered batch
+/// of messages (shared by both engines).
+void record_step_comm(StepComm& step, const std::vector<Message>& delivered,
+                      std::uint32_t v);
+
+}  // namespace emcgm::cgm

@@ -1,0 +1,22 @@
+#include "cgm/machine.h"
+
+#include "cgm/native_engine.h"
+#include "emcgm/em_engine.h"
+
+namespace emcgm::cgm {
+
+Machine::Machine(EngineKind kind, MachineConfig cfg) {
+  switch (kind) {
+    case EngineKind::kNative:
+      engine_ = std::make_unique<NativeEngine>(std::move(cfg));
+      break;
+    case EngineKind::kEm:
+      engine_ = std::make_unique<em::EmEngine>(std::move(cfg));
+      break;
+  }
+  EMCGM_CHECK(engine_ != nullptr);
+}
+
+Machine::~Machine() = default;
+
+}  // namespace emcgm::cgm

@@ -1,0 +1,16 @@
+// Point-to-point messages exchanged in a CGM communication round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emcgm::cgm {
+
+struct Message {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace emcgm::cgm

@@ -1,0 +1,30 @@
+// In-memory CGM machine: all v virtual processors and all messages live in
+// RAM. This is the conventional-parallel comparator of the paper's Fig. 3a
+// and the reference implementation that the EM engine must match
+// byte-for-byte (test suite invariant 4).
+#pragma once
+
+#include "cgm/engine.h"
+
+namespace emcgm::cgm {
+
+class NativeEngine final : public Engine {
+ public:
+  explicit NativeEngine(MachineConfig cfg);
+
+  const MachineConfig& config() const override { return cfg_; }
+
+  std::vector<PartitionSet> run(const Program& program,
+                                std::vector<PartitionSet> inputs) override;
+
+  const RunResult& last_result() const override { return last_; }
+  const RunResult& total() const override { return total_; }
+  void reset_totals() override { total_ = RunResult{}; }
+
+ private:
+  MachineConfig cfg_;
+  RunResult last_;
+  RunResult total_;
+};
+
+}  // namespace emcgm::cgm

@@ -1,0 +1,56 @@
+#include "emcgm/context_store.h"
+
+#include "util/error.h"
+
+namespace emcgm::em {
+
+ContextStore::ContextStore(pdm::DiskArray& array, pdm::TrackSpace& space,
+                           std::uint32_t nlocal)
+    : array_(array),
+      nlocal_(nlocal),
+      regions_{Region(space, nlocal, array.num_disks()),
+               Region(space, nlocal, array.num_disks())} {
+  EMCGM_CHECK(nlocal_ >= 1);
+}
+
+void ContextStore::write(std::uint32_t local,
+                         std::span<const std::byte> context) {
+  EMCGM_CHECK(local < nlocal_);
+  Region& w = regions_[1 - active_];
+  EMCGM_CHECK_MSG(!w.extents[local].has_value(),
+                  "context " << local << " written twice in one superstep");
+  pdm::Extent e = w.cursor.alloc(context.size(), array_.block_bytes());
+  write_striped(array_, w.tracks, e, context);
+  w.extents[local] = e;
+}
+
+std::vector<std::byte> ContextStore::read(std::uint32_t local) {
+  EMCGM_CHECK(local < nlocal_);
+  Region& r = regions_[active_];
+  EMCGM_CHECK_MSG(r.extents[local].has_value(),
+                  "context " << local << " was never written");
+  const pdm::Extent& e = *r.extents[local];
+  std::vector<std::byte> out(e.bytes);
+  read_striped(array_, r.tracks, e, out);
+  return out;
+}
+
+std::size_t ContextStore::context_bytes(std::uint32_t local) const {
+  EMCGM_CHECK(local < nlocal_);
+  const auto& e = regions_[active_].extents[local];
+  return e.has_value() ? static_cast<std::size_t>(e->bytes) : 0;
+}
+
+void ContextStore::flip() {
+  Region& w = regions_[1 - active_];
+  for (std::uint32_t j = 0; j < nlocal_; ++j) {
+    EMCGM_CHECK_MSG(w.extents[j].has_value(),
+                    "flip() with context " << j << " unwritten");
+  }
+  active_ = 1 - active_;
+  Region& nw = regions_[1 - active_];
+  nw.cursor.reset();
+  for (auto& e : nw.extents) e.reset();
+}
+
+}  // namespace emcgm::em

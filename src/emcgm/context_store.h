@@ -1,0 +1,62 @@
+// On-disk storage for virtual-processor contexts (paper Algorithm 2, steps
+// (a)/(e)): each compound superstep reads every local virtual processor's
+// context from disk and writes the changed context back, in consecutive
+// (striped) format so both directions use all D disks.
+//
+// Context sizes may change between supersteps (algorithm state grows and
+// shrinks), so instead of fixed slots the store bump-allocates a fresh
+// striped extent per context per superstep into the inactive one of two
+// regions and flips regions at superstep end (space: twice the total
+// context size, the paper's Observation-2 discussion notwithstanding —
+// contexts, unlike messages, are read and rewritten by the *same* virtual
+// processor, so a freed-slot reuse scheme would need fixed sizes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pdm/disk_array.h"
+#include "pdm/striping.h"
+
+namespace emcgm::em {
+
+class ContextStore {
+ public:
+  /// nlocal = number of virtual processors simulated on this real processor.
+  ContextStore(pdm::DiskArray& array, pdm::TrackSpace& space,
+               std::uint32_t nlocal);
+
+  /// Write the context of local virtual processor `local` into the inactive
+  /// region (the one that becomes readable after the next flip()).
+  void write(std::uint32_t local, std::span<const std::byte> context);
+
+  /// Read local virtual processor `local`'s context from the active region.
+  std::vector<std::byte> read(std::uint32_t local);
+
+  /// Size of the context that read(local) would return, without I/O.
+  std::size_t context_bytes(std::uint32_t local) const;
+
+  /// Superstep boundary: the freshly written region becomes readable.
+  /// Every local virtual processor must have been written exactly once
+  /// since the previous flip.
+  void flip();
+
+ private:
+  struct Region {
+    pdm::TrackRegion tracks;
+    pdm::StripeCursor cursor;
+    std::vector<std::optional<pdm::Extent>> extents;  // per local vproc
+
+    Region(pdm::TrackSpace& space, std::uint32_t nlocal,
+           std::uint32_t num_disks)
+        : tracks(space), cursor(num_disks), extents(nlocal) {}
+  };
+
+  pdm::DiskArray& array_;
+  std::uint32_t nlocal_;
+  Region regions_[2];
+  int active_ = 0;  ///< readable region; 1 - active_ is being written
+};
+
+}  // namespace emcgm::em

@@ -1,0 +1,419 @@
+#include "emcgm/em_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "cgm/proc_ctx.h"
+#include "routing/balanced_routing.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace emcgm::em {
+
+namespace {
+
+constexpr std::uint64_t kMaxRounds = 1u << 20;
+
+// Serialized context layout: inputs (round 0 only), program state, outputs.
+std::vector<std::byte> pack_context(
+    const std::vector<std::vector<std::byte>>& inputs,
+    const cgm::ProcState& state,
+    const std::vector<std::vector<std::byte>>& outputs) {
+  WriteArchive ar;
+  ar.put<std::uint64_t>(inputs.size());
+  for (const auto& in : inputs) ar.put_bytes(in);
+  state.save(ar);
+  // Outputs go last so that state.load() consumes exactly its own bytes.
+  // (We cannot put them before the state: load() reads a fixed field
+  // sequence, so anything preceding it must have a known structure.)
+  WriteArchive tail;
+  tail.put<std::uint64_t>(outputs.size());
+  for (const auto& o : outputs) tail.put_bytes(o);
+  ar.write_raw(tail.buffer().data(), tail.size());
+  return ar.take();
+}
+
+struct UnpackedContext {
+  std::vector<std::vector<std::byte>> inputs;
+  std::vector<std::vector<std::byte>> outputs;
+};
+
+UnpackedContext unpack_context(std::span<const std::byte> blob,
+                               cgm::ProcState& state) {
+  ReadArchive ar(blob);
+  UnpackedContext ctx;
+  const auto n_in = ar.get<std::uint64_t>();
+  ctx.inputs.reserve(static_cast<std::size_t>(n_in));
+  for (std::uint64_t k = 0; k < n_in; ++k) ctx.inputs.push_back(ar.get_bytes());
+  state.load(ar);
+  const auto n_out = ar.get<std::uint64_t>();
+  ctx.outputs.reserve(static_cast<std::size_t>(n_out));
+  for (std::uint64_t k = 0; k < n_out; ++k) {
+    ctx.outputs.push_back(ar.get_bytes());
+  }
+  EMCGM_CHECK_MSG(ar.exhausted(), "context blob has trailing bytes");
+  return ctx;
+}
+
+}  // namespace
+
+struct EmEngine::RealProc {
+  std::unique_ptr<pdm::DiskArray> disks;
+  pdm::TrackSpace space;
+  std::unique_ptr<ContextStore> contexts;
+  std::unique_ptr<MessageStore> messages;
+
+  RealProc(const cgm::MachineConfig& cfg, std::uint32_t index) {
+    std::string dir;
+    if (cfg.backend == pdm::BackendKind::kFile) {
+      dir = cfg.file_dir + "/proc" + std::to_string(index);
+    }
+    disks = std::make_unique<pdm::DiskArray>(
+        pdm::make_backend(cfg.backend, cfg.disk, dir));
+  }
+};
+
+EmEngine::EmEngine(cgm::MachineConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  if (cfg_.single_copy_matrix) {
+    EMCGM_CHECK_MSG(cfg_.layout == cgm::MsgLayout::kStaggeredMatrix,
+                    "single_copy_matrix requires the staggered layout");
+  }
+  procs_.reserve(cfg_.p);
+  for (std::uint32_t r = 0; r < cfg_.p; ++r) {
+    procs_.push_back(std::make_unique<RealProc>(cfg_, r));
+  }
+}
+
+EmEngine::~EmEngine() = default;
+
+const pdm::IoStats& EmEngine::io_stats(std::uint32_t real_proc) const {
+  EMCGM_CHECK(real_proc < cfg_.p);
+  return procs_[real_proc]->disks->stats();
+}
+
+std::uint64_t EmEngine::tracks_used(std::uint32_t real_proc) const {
+  EMCGM_CHECK(real_proc < cfg_.p);
+  return procs_[real_proc]->disks->tracks_used();
+}
+
+std::vector<cgm::PartitionSet> EmEngine::run(
+    const cgm::Program& program, std::vector<cgm::PartitionSet> inputs) {
+  Timer timer;
+  const std::uint32_t v = cfg_.v;
+  const std::uint32_t p = cfg_.p;
+  const std::uint32_t nloc = nlocal();
+  cgm::RunResult result;
+
+  pdm::IoStats io_before;
+  for (auto& rp : procs_) io_before += rp->disks->stats();
+
+  // ------------------------------------------------------------- set-up --
+  for (const auto& slot : inputs) {
+    EMCGM_CHECK_MSG(slot.parts.size() == v,
+                    "input PartitionSet must have v parts");
+  }
+  std::uint64_t total_input_bytes = 0;
+  for (const auto& slot : inputs) {
+    for (const auto& part : slot.parts) total_input_bytes += part.size();
+  }
+
+  // Staggered-slot capacity: explicit hint, or the Lemma 2 bound
+  // 2 * ceil(N / v^2) plus fragment-header slack for balanced routing.
+  std::size_t slot_bytes = cfg_.staggered_slot_bytes;
+  if (cfg_.layout == cgm::MsgLayout::kStaggeredMatrix && slot_bytes == 0) {
+    EMCGM_CHECK_MSG(cfg_.balanced_routing,
+                    "staggered layout without balanced routing has no"
+                    " message-size bound; set staggered_slot_bytes or use"
+                    " the chained layout");
+    const std::uint64_t B = cfg_.disk.block_bytes;
+    const std::uint64_t lemma2_floor =
+        static_cast<std::uint64_t>(v) * v * B +
+        static_cast<std::uint64_t>(v) * v * (v - 1) / 2;
+    EMCGM_CHECK_MSG(total_input_bytes >= lemma2_floor,
+                    "Lemma 2 precondition N >= v^2*B + v^2(v-1)/2 violated"
+                    " (N=" << total_input_bytes << " bytes, floor="
+                           << lemma2_floor
+                           << "); use the chained layout or set"
+                              " staggered_slot_bytes explicitly");
+    // Lemma 2 bounds a balanced message by 2 * ceil(h/v) where h is the
+    // per-processor communication volume; algorithms commonly attach
+    // routing tags that double the input volume (e.g. the sort's tie-break
+    // ids), so the derived default allows a 2x expansion plus the
+    // fragment-header slack. Programs with larger expansion must set
+    // staggered_slot_bytes explicitly.
+    slot_bytes = static_cast<std::size_t>(
+        4 * ceil_div(total_input_bytes, std::uint64_t{v} * v) + 64ULL * v +
+        128);
+  }
+
+  // Fresh stores per run; the disk arrays (and their statistics) persist.
+  for (std::uint32_t r = 0; r < p; ++r) {
+    auto& rp = *procs_[r];
+    rp.contexts = std::make_unique<ContextStore>(*rp.disks, rp.space, nloc);
+    MessageStoreConfig mcfg;
+    mcfg.v = v;
+    mcfg.local_base = r * nloc;
+    mcfg.nlocal = nloc;
+    mcfg.slot_bytes = slot_bytes;
+    mcfg.single_copy = cfg_.single_copy_matrix;
+    rp.messages =
+        make_message_store(cfg_.layout, *rp.disks, rp.space, mcfg);
+  }
+
+  // Write initial contexts: the input partitions plus a fresh program state.
+  {
+    const auto fresh = program.make_state();
+    WriteArchive probe;
+    fresh->save(probe);  // ensure save() works on a default state up front
+  }
+  for (std::uint32_t g = 0; g < v; ++g) {
+    std::vector<std::vector<std::byte>> mine;
+    mine.reserve(inputs.size());
+    for (auto& slot : inputs) mine.push_back(std::move(slot.parts[g]));
+    const auto state = program.make_state();
+    const auto blob = pack_context(mine, *state, {});
+    procs_[owner_of(g)]->contexts->write(g % nloc, blob);
+  }
+  for (auto& rp : procs_) rp->contexts->flip();
+
+  // ---------------------------------------------------------- main loop --
+  const bool balanced = cfg_.balanced_routing;
+  bool all_done = false;
+
+  // Per-superstep I/O trace: delta of the summed disk statistics.
+  pdm::IoStats trace_mark = io_before;
+  auto record_step_io = [&] {
+    pdm::IoStats now;
+    for (auto& rp : procs_) now += rp->disks->stats();
+    result.io_per_step.push_back(now - trace_mark);
+    trace_mark = now;
+  };
+
+  // One real processor's work during a computation superstep.
+  struct ProcOutcome {
+    // outgoing physical messages grouped by owning real processor
+    std::vector<std::vector<cgm::Message>> by_owner;
+    std::vector<char> done;  // per local vproc
+    std::exception_ptr error;
+  };
+
+  auto simulate_real_proc = [&](std::uint32_t r, std::uint64_t round,
+                                ProcOutcome& out) {
+    try {
+      auto& rp = *procs_[r];
+      out.by_owner.assign(p, {});
+      out.done.assign(nloc, 0);
+      for (std::uint32_t jl = 0; jl < nloc; ++jl) {
+        const std::uint32_t g = r * nloc + jl;
+        // (a) context in.
+        const auto blob = rp.contexts->read(jl);
+        auto state = program.make_state();
+        auto unpacked = unpack_context(blob, *state);
+        // (b) messages in.
+        auto inbox = rp.messages->read_incoming(g);
+        if (balanced && round > 0) {
+          inbox = routing::decode_phase_b(v, g, inbox);
+        }
+        // (c) compute.
+        cgm::ProcCtx pctx(g, v, cfg_.seed);
+        pctx.set_inputs(std::move(unpacked.inputs));
+        pctx.outputs() = std::move(unpacked.outputs);
+        pctx.begin_superstep(round, std::move(inbox));
+        program.round(pctx, *state);
+        out.done[jl] = program.done(pctx, *state) ? 1 : 0;
+        auto outbox = pctx.take_outbox();
+        if (out.done[jl]) {
+          EMCGM_CHECK_MSG(outbox.empty(),
+                          "program '" << program.name()
+                                      << "' sent messages in its final round");
+        }
+        auto physical = balanced ? routing::encode_phase_a(v, g, outbox)
+                                 : std::move(outbox);
+        // (d) messages out. Locally addressed messages are written
+        // immediately when p == 1 (Algorithm 2 order, which is what the
+        // Observation-2 freed-slot reuse relies on); with p > 1 everything
+        // is delivered at superstep end (Algorithm 3: "upon arrival").
+        if (p == 1) {
+          rp.messages->write_messages(physical);
+        } else {
+          for (auto& m : physical) {
+            out.by_owner[owner_of(m.dst)].push_back(std::move(m));
+          }
+        }
+        // (e) context out (inputs are consumed by round 0).
+        const auto new_blob = pack_context({}, *state, pctx.outputs());
+        if (cfg_.memory_bytes > 0) {
+          const std::size_t resident = new_blob.size() + pctx.resident_bytes();
+          EMCGM_CHECK_MSG(resident <= cfg_.memory_bytes,
+                          "virtual processor " << g << " needs " << resident
+                                               << " bytes but M = "
+                                               << cfg_.memory_bytes);
+        }
+        rp.contexts->write(jl, new_blob);
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+
+  // Engine-side regrouping superstep of balanced routing (Lemma 2); touches
+  // only the message store — contexts are not read or written.
+  auto regroup_real_proc = [&](std::uint32_t r, ProcOutcome& out) {
+    try {
+      auto& rp = *procs_[r];
+      out.by_owner.assign(p, {});
+      for (std::uint32_t jl = 0; jl < nloc; ++jl) {
+        const std::uint32_t g = r * nloc + jl;
+        auto inbox = rp.messages->read_incoming(g);
+        auto physical = routing::transform_intermediate(v, g, inbox);
+        if (p == 1) {
+          rp.messages->write_messages(physical);
+        } else {
+          for (auto& m : physical) {
+            out.by_owner[owner_of(m.dst)].push_back(std::move(m));
+          }
+        }
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+
+  auto run_phase = [&](auto&& fn) {
+    std::vector<ProcOutcome> outcomes(p);
+    if (cfg_.use_threads && p > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(p);
+      for (std::uint32_t r = 0; r < p; ++r) {
+        threads.emplace_back([&, r] { fn(r, outcomes[r]); });
+      }
+      for (auto& t : threads) t.join();
+    } else {
+      for (std::uint32_t r = 0; r < p; ++r) fn(r, outcomes[r]);
+    }
+    for (auto& o : outcomes) {
+      if (o.error) std::rethrow_exception(o.error);
+    }
+    return outcomes;
+  };
+
+  // Deliver staged messages (p > 1): network traffic is counted, then each
+  // real processor writes its arrivals to its own disks in one batch.
+  auto deliver_staged = [&](std::vector<ProcOutcome>& outcomes) {
+    cgm::StepComm step;
+    if (p > 1) {
+      // Network accounting: only messages crossing real-processor
+      // boundaries cost communication time on the target machine.
+      std::vector<std::uint64_t> sent(p, 0), recv(p, 0);
+      for (std::uint32_t src_r = 0; src_r < p; ++src_r) {
+        for (std::uint32_t dst_r = 0; dst_r < p; ++dst_r) {
+          if (src_r == dst_r) continue;
+          for (const auto& m : outcomes[src_r].by_owner[dst_r]) {
+            const std::uint64_t n = m.payload.size();
+            step.bytes += n;
+            step.messages += 1;
+            step.min_msg_bytes = std::min(step.min_msg_bytes, n);
+            step.max_msg_bytes = std::max(step.max_msg_bytes, n);
+            sent[src_r] += n;
+            recv[dst_r] += n;
+          }
+        }
+      }
+      for (std::uint32_t r = 0; r < p; ++r) {
+        step.max_sent = std::max(step.max_sent, sent[r]);
+        step.max_recv = std::max(step.max_recv, recv[r]);
+      }
+      for (std::uint32_t dst_r = 0; dst_r < p; ++dst_r) {
+        std::vector<cgm::Message> arrivals;
+        for (std::uint32_t src_r = 0; src_r < p; ++src_r) {
+          auto& batch = outcomes[src_r].by_owner[dst_r];
+          for (auto& m : batch) arrivals.push_back(std::move(m));
+        }
+        if (!arrivals.empty()) {
+          // Deterministic arrival order regardless of threading.
+          std::sort(arrivals.begin(), arrivals.end(),
+                    [](const cgm::Message& a, const cgm::Message& b) {
+                      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                    });
+          procs_[dst_r]->messages->write_messages(arrivals);
+        }
+      }
+    }
+    result.comm.steps.push_back(step);
+    result.comm_steps += 1;
+  };
+
+  for (std::uint64_t round = 0; !all_done; ++round) {
+    EMCGM_CHECK_MSG(round < kMaxRounds,
+                    "program '" << program.name() << "' exceeded "
+                                << kMaxRounds << " rounds");
+    auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
+      simulate_real_proc(r, round, o);
+    });
+    result.app_rounds += 1;
+
+    bool any_done = false;
+    all_done = true;
+    for (const auto& o : outcomes) {
+      for (char d : o.done) {
+        any_done = any_done || d;
+        all_done = all_done && d;
+      }
+    }
+    EMCGM_CHECK_MSG(any_done == all_done,
+                    "program '" << program.name()
+                                << "' disagreed on termination at round "
+                                << round);
+    for (auto& rp : procs_) rp->contexts->flip();
+    if (all_done) {
+      record_step_io();
+      break;
+    }
+
+    deliver_staged(outcomes);
+    for (auto& rp : procs_) rp->messages->flip();
+    record_step_io();
+
+    if (balanced) {
+      auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
+        regroup_real_proc(r, o);
+      });
+      deliver_staged(regroup);
+      for (auto& rp : procs_) rp->messages->flip();
+      record_step_io();
+    }
+  }
+
+  // ------------------------------------------------------ collect output --
+  std::vector<cgm::PartitionSet> outputs;
+  for (std::uint32_t g = 0; g < v; ++g) {
+    auto& rp = *procs_[owner_of(g)];
+    const auto blob = rp.contexts->read(g % nloc);
+    auto state = program.make_state();
+    auto unpacked = unpack_context(blob, *state);
+    if (unpacked.outputs.size() > outputs.size()) {
+      outputs.resize(unpacked.outputs.size());
+      for (auto& slot : outputs) slot.parts.resize(v);
+    }
+    for (std::size_t k = 0; k < unpacked.outputs.size(); ++k) {
+      outputs[k].parts[g] = std::move(unpacked.outputs[k]);
+    }
+  }
+  for (auto& slot : outputs) slot.parts.resize(v);
+
+  record_step_io();  // output-collection reads
+
+  pdm::IoStats io_after;
+  for (auto& rp : procs_) io_after += rp->disks->stats();
+  result.io = io_after - io_before;
+
+  result.wall_s = timer.elapsed_s();
+  last_ = result;
+  total_ += result;
+  return outputs;
+}
+
+}  // namespace emcgm::em

@@ -1,0 +1,67 @@
+// The paper's deterministic simulation (Algorithms 2 and 3): a v-processor
+// CGM algorithm executes on p real processors, each owning D disks; virtual
+// processor contexts and all inter-processor messages are carried by
+// blocked, fully parallel disk I/O.
+//
+// Per compound superstep and per local virtual processor (Algorithm 2):
+//   (a) read its context from disk (consecutive format),
+//   (b) read its incoming messages (message store),
+//   (c) run one round of the program,
+//   (d) write its generated messages (staggered matrix or chained layout),
+//   (e) write the changed context back.
+// With p > 1 (Algorithm 3), messages whose destination lives on another
+// real processor travel over a simulated network (byte-counted into
+// CommStats) and are written to the destination's disks at superstep end.
+// With balanced routing (Lemma 2) every application round expands into two
+// physical supersteps; the intermediate regrouping runs engine-side and
+// touches only the message store — contexts are not re-read.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cgm/engine.h"
+#include "emcgm/context_store.h"
+#include "emcgm/message_store.h"
+#include "pdm/cost_model.h"
+#include "pdm/disk_array.h"
+
+namespace emcgm::em {
+
+class EmEngine final : public cgm::Engine {
+ public:
+  explicit EmEngine(cgm::MachineConfig cfg);
+  ~EmEngine() override;
+
+  const cgm::MachineConfig& config() const override { return cfg_; }
+
+  std::vector<cgm::PartitionSet> run(
+      const cgm::Program& program,
+      std::vector<cgm::PartitionSet> inputs) override;
+
+  const cgm::RunResult& last_result() const override { return last_; }
+  const cgm::RunResult& total() const override { return total_; }
+  void reset_totals() override { total_ = cgm::RunResult{}; }
+
+  /// I/O statistics of one real processor's disk subsystem, accumulated
+  /// since engine construction.
+  const pdm::IoStats& io_stats(std::uint32_t real_proc) const;
+
+  /// Disk tracks currently materialized on one real processor (space use).
+  std::uint64_t tracks_used(std::uint32_t real_proc) const;
+
+ private:
+  struct RealProc;
+
+  std::uint32_t nlocal() const { return cfg_.v / cfg_.p; }
+  std::uint32_t owner_of(std::uint32_t vproc) const {
+    return vproc / nlocal();
+  }
+
+  cgm::MachineConfig cfg_;
+  std::vector<std::unique_ptr<RealProc>> procs_;
+  cgm::RunResult last_;
+  cgm::RunResult total_;
+};
+
+}  // namespace emcgm::em

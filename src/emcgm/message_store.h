@@ -1,0 +1,68 @@
+// On-disk storage for the messages of a compound superstep (paper Algorithm
+// 2, steps (b)/(d)). A store holds the messages addressed to the virtual
+// processors local to one real processor. Two layouts:
+//
+//  * StaggeredMatrixStore — the paper's Fig. 2 "message matrix": a fixed
+//    capacity slot per (source, local destination) pair, laid out in
+//    consecutive format destination-major so that reading a destination's
+//    inbox is a consecutive run while the slot start positions of distinct
+//    sources are staggered across the disks. Requires an a-priori bound on
+//    the per-pair message size — which is exactly what balanced routing
+//    (Lemma 2) provides. Supports Observation 2: with single_copy enabled
+//    the same physical matrix is reused every superstep by alternating the
+//    slot orientation (destination-major / source-major); a virtual
+//    processor's outgoing slots then occupy precisely the physical blocks
+//    its own inbox just freed.
+//
+//  * ChainedStore — per-message striped extents bump-allocated into a
+//    double-buffered region with an in-memory O(v^2/p) directory. Handles
+//    arbitrary (unbalanced) message sizes: writes are fully parallel; reads
+//    pay at most one partial parallel op per message.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cgm/config.h"
+#include "cgm/message.h"
+#include "pdm/disk_array.h"
+#include "pdm/striping.h"
+
+namespace emcgm::em {
+
+class MessageStore {
+ public:
+  virtual ~MessageStore() = default;
+
+  /// Store messages for delivery in the next superstep. Every msg.dst must
+  /// be local to this store. Blocks of the whole batch are batched into
+  /// parallel ops together, so callers should pass a virtual processor's
+  /// complete outbox (or a whole network arrival batch) at once.
+  virtual void write_messages(std::span<const cgm::Message> msgs) = 0;
+
+  /// Read and consume the messages addressed to `dst_global` written before
+  /// the last flip(). Returns them sorted by source.
+  virtual std::vector<cgm::Message> read_incoming(std::uint32_t dst_global) = 0;
+
+  /// Superstep boundary: messages written since the previous flip become
+  /// readable.
+  virtual void flip() = 0;
+};
+
+/// Construction parameters shared by both layouts.
+struct MessageStoreConfig {
+  std::uint32_t v = 1;           ///< total virtual processors
+  std::uint32_t local_base = 0;  ///< first local virtual processor
+  std::uint32_t nlocal = 1;      ///< local virtual processors
+  std::size_t slot_bytes = 0;    ///< staggered layout slot capacity
+  bool single_copy = false;      ///< Observation 2 (staggered layout only)
+};
+
+std::unique_ptr<MessageStore> make_message_store(cgm::MsgLayout layout,
+                                                 pdm::DiskArray& array,
+                                                 pdm::TrackSpace& space,
+                                                 const MessageStoreConfig& cfg);
+
+}  // namespace emcgm::em

@@ -1,0 +1,28 @@
+// 2D convex hull (the planar core of Fig. 5 Group B row 3's hull family):
+// sample sort by (x, y), per-slab monotone-chain hulls, gather-merge of the
+// slab hulls at processor 0. lambda = O(1).
+//
+// Deviation note (DESIGN.md §5): the combine step gathers the slab hulls to
+// one processor, so h = O(sum of slab hull sizes) — O(v log(N/v)) expected
+// for uniform random inputs, O(N) for adversarial ones (e.g. all points on
+// a circle); the paper's cited CGM hull algorithms bound this with
+// additional splitter machinery.
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+/// Hull vertices in counter-clockwise order starting at the lexicographic
+/// minimum; collinear interior points are excluded. Requires n >= 1
+/// distinct points (duplicates are tolerated and deduplicated).
+std::vector<Point2> convex_hull(cgm::Machine& m,
+                                const std::vector<Point2>& points);
+
+/// Sequential monotone-chain reference.
+std::vector<Point2> convex_hull_seq(std::vector<Point2> points);
+
+}  // namespace emcgm::geom

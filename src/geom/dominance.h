@@ -1,0 +1,44 @@
+// 2D weighted dominance counting (paper Fig. 5 Group B row 7): for every
+// point p, the total weight of points q with q.x < p.x and q.y < p.y.
+//
+// Constant-round CGM algorithm on top of sample sort:
+//   - sort by x: processor order becomes x-rank order;
+//   - choose v y-splitters by regular sampling (2 rounds);
+//   - all-gather per-processor y-bucket weight histograms: the contribution
+//     of earlier processors' points in strictly lower y-buckets is then a
+//     local table lookup;
+//   - route points and queries of each y-bucket to the bucket's owner, which
+//     resolves the same-bucket cross-processor contributions with a single
+//     y-sweep over a Fenwick tree indexed by source processor;
+//   - the same-processor contribution is a purely local Fenwick sweep.
+//
+// Precondition: pairwise distinct x and y coordinates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+struct DomCount {
+  std::uint64_t id = 0;     ///< input point id
+  std::uint64_t count = 0;  ///< total dominated weight
+};
+
+/// Distributed dominance counts (one record per input point, grouped by the
+/// x-sorted layout).
+cgm::DistVec<DomCount> dominance_counts(cgm::Machine& m,
+                                        cgm::DistVec<WPoint2> points);
+
+/// One-call convenience; results sorted by id.
+std::vector<DomCount> dominance_counts(cgm::Machine& m,
+                                       const std::vector<WPoint2>& points);
+
+/// O(n^2) reference for testing; results sorted by id.
+std::vector<DomCount> dominance_counts_brute(
+    const std::vector<WPoint2>& points);
+
+}  // namespace emcgm::geom

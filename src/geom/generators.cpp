@@ -1,0 +1,84 @@
+#include "geom/point.h"
+
+#include <algorithm>
+
+namespace emcgm::geom {
+
+std::vector<Point2> random_points2(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Point2> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = Point2{rng.next_double(), rng.next_double(), i};
+  }
+  return pts;
+}
+
+std::vector<Point3> random_points3(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Point3> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = Point3{rng.next_double(), rng.next_double(), rng.next_double(),
+                    i};
+  }
+  return pts;
+}
+
+std::vector<WPoint2> random_wpoints2(std::uint64_t seed, std::size_t n,
+                                     std::uint64_t max_w) {
+  Rng rng(seed);
+  std::vector<WPoint2> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = WPoint2{rng.next_double(), rng.next_double(),
+                     rng.next_below(max_w) + 1, i};
+  }
+  return pts;
+}
+
+std::vector<Rect> random_rects(std::uint64_t seed, std::size_t n,
+                               double max_extent) {
+  Rng rng(seed);
+  std::vector<Rect> rects(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.next_double(), y = rng.next_double();
+    const double w = rng.next_double() * max_extent + 1e-9;
+    const double h = rng.next_double() * max_extent + 1e-9;
+    rects[i] = Rect{x, y, x + w, y + h, i};
+  }
+  return rects;
+}
+
+std::vector<Segment> random_noncrossing_segments(std::uint64_t seed,
+                                                 std::size_t n,
+                                                 double max_extent) {
+  Rng rng(seed);
+  std::vector<Segment> segs(n);
+  // Horizontal segments on distinct y-levels never cross each other.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.next_double();
+    const double len = rng.next_double() * max_extent + 1e-9;
+    const double y =
+        (static_cast<double>(i) + rng.next_double() * 0.5) /
+        static_cast<double>(n ? n : 1);
+    segs[i] = Segment{x, y, x + len, y, i};
+  }
+  // Shuffle so segment order is uncorrelated with y-level (Fisher-Yates on
+  // our own deterministic RNG; no <random> dependency).
+  Rng sh(seed ^ 0xABCDEF);
+  for (std::size_t i = segs.size(); i > 1; --i) {
+    std::swap(segs[i - 1], segs[static_cast<std::size_t>(sh.next_below(i))]);
+  }
+  return segs;
+}
+
+std::vector<Interval> random_intervals(std::uint64_t seed, std::size_t n,
+                                       double max_extent) {
+  Rng rng(seed);
+  std::vector<Interval> iv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = rng.next_double();
+    iv[i] = Interval{lo, lo + rng.next_double() * max_extent + 1e-9, i};
+  }
+  return iv;
+}
+
+}  // namespace emcgm::geom

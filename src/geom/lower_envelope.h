@@ -1,0 +1,43 @@
+// Lower envelope of non-crossing line segments (paper Fig. 5 Group B rows
+// 4-5): the pointwise-lowest segment as a function of x, reported as maximal
+// x-intervals each attributed to one segment id.
+//
+// Slab algorithm: v - 1 x-splitters by regular sampling of segment
+// endpoints; each segment is routed to every slab it overlaps; each slab
+// runs a plane sweep whose active structure is an ordered set keyed by
+// y-at-current-x (valid because co-active non-crossing segments never swap
+// order); the per-slab piece lists are the distributed output and are
+// stitched by the driver.
+//
+// Precondition: segments are pairwise non-crossing (shared endpoints are
+// allowed if the interiors do not cross).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+/// One maximal piece of the envelope: segment `id` is lowest on [x1, x2).
+struct EnvPiece {
+  double x1 = 0, x2 = 0;
+  std::uint64_t id = 0;
+};
+
+/// Envelope pieces sorted by x (gaps where no segment is defined are
+/// omitted). Adjacent pieces always have distinct ids or a gap between.
+std::vector<EnvPiece> lower_envelope(cgm::Machine& m,
+                                     const std::vector<Segment>& segs);
+
+/// Reference: evaluate the envelope at a point x (lowest segment covering
+/// x), returning (found, id).
+std::pair<bool, std::uint64_t> envelope_at_brute(
+    const std::vector<Segment>& segs, double x);
+
+/// Look up a piece list at x.
+std::pair<bool, std::uint64_t> envelope_at(const std::vector<EnvPiece>& env,
+                                           double x);
+
+}  // namespace emcgm::geom

@@ -1,0 +1,39 @@
+// 3D maxima (paper Fig. 5 Group B row 6): a point p is maximal iff no other
+// point strictly dominates it in all three coordinates.
+//
+// Pipeline: global sample sort by x descending, then a staircase program:
+// each processor computes the (y, z)-Pareto staircase of its own points and
+// the staircases are combined along the processor order by prefix doubling
+// (O(log v) rounds, each an h-relation of staircase data); one final shift
+// round delivers to each processor the exclusive-prefix staircase of all
+// strictly-larger-x points, against which its local candidates are
+// filtered.
+//
+// Deviation from the paper's O(1)-round CGM algorithm (documented in
+// DESIGN.md): rounds are O(log v) instead of O(1) — still independent of N,
+// so the simulated I/O stays O(N/(pDB)) * O(log v). Staircase sizes are
+// O(sqrt-ish) in expectation for random inputs but can degenerate for
+// adversarial ones.
+//
+// Precondition: pairwise distinct x, y and z coordinate values.
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+/// Returns the maximal points, distributed (uneven parts). Order within the
+/// result follows descending x.
+cgm::DistVec<Point3> maxima3d(cgm::Machine& m, cgm::DistVec<Point3> points);
+
+/// One-call convenience over a plain vector.
+std::vector<Point3> maxima3d(cgm::Machine& m,
+                             const std::vector<Point3>& points);
+
+/// O(n^2) reference for testing.
+std::vector<Point3> maxima3d_brute(const std::vector<Point3>& points);
+
+}  // namespace emcgm::geom

@@ -1,0 +1,39 @@
+// All nearest neighbors for a planar point set (paper Fig. 5 Group B
+// row 6): for every point, the closest other point (Euclidean).
+//
+// Slab algorithm on top of sample sort by x:
+//   - each slab solves its local all-NN by an x-window scan;
+//   - slab x-ranges are all-gathered; a point whose current NN distance d
+//     reaches past its slab's boundary is sent to every slab intersecting
+//     [x-d, x+d], which answers with its best local candidate;
+//   - answers are combined by minimum.
+// Exact for every input; the number of boundary queries is O(N/v) per slab
+// for non-degenerate point sets (all points on one vertical line degrade to
+// broadcast — see DESIGN.md). Requires N >= 2 points.
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+struct NNResult {
+  std::uint64_t id = 0;     ///< query point id
+  std::uint64_t nn_id = 0;  ///< its nearest neighbor's id
+  double d2 = 0;            ///< squared distance
+};
+
+cgm::DistVec<NNResult> all_nearest_neighbors(cgm::Machine& m,
+                                             cgm::DistVec<Point2> points);
+
+/// One-call convenience; results sorted by id.
+std::vector<NNResult> all_nearest_neighbors(cgm::Machine& m,
+                                            const std::vector<Point2>& points);
+
+/// O(n^2) reference; results sorted by id.
+std::vector<NNResult> all_nearest_neighbors_brute(
+    const std::vector<Point2>& points);
+
+}  // namespace emcgm::geom

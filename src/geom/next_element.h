@@ -1,0 +1,66 @@
+// Next-element search on line segments and batched planar point location
+// (paper Fig. 5 Group B rows 1-2). Given a set of pairwise non-crossing
+// segments and a batch of query points, report for every query the segment
+// immediately below it (the core primitive of trapezoidal decomposition
+// and of point location in a planar subdivision).
+//
+// Slab algorithm: x-splitters by regular sampling of segment endpoints and
+// query xs; segments are routed to every slab they overlap, queries to
+// their slab; each slab runs one sweep whose active structure is ordered
+// by y-at-current-x (valid for non-crossing segments) and answers its
+// queries with a predecessor lookup. lambda = O(1).
+//
+// Precondition: segments pairwise non-crossing; queries do not lie exactly
+// on a segment (random inputs satisfy this).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+inline constexpr std::uint64_t kNoSegment = ~std::uint64_t{0};
+
+struct BelowResult {
+  std::uint64_t query_id = 0;
+  std::uint64_t segment_id = kNoSegment;  ///< segment directly below
+};
+
+/// For every query point, the id of the segment immediately below it
+/// (kNoSegment if none covers the query's x below it). Results sorted by
+/// query id.
+std::vector<BelowResult> segment_below_points(
+    cgm::Machine& m, const std::vector<Segment>& segments,
+    const std::vector<Point2>& queries);
+
+/// Next-element search for the segment endpoints themselves: for each
+/// segment, the segment directly below its left endpoint — the
+/// neighbor relation trapezoidal decomposition starts from. Results sorted
+/// by segment id.
+std::vector<BelowResult> next_element_below(
+    cgm::Machine& m, const std::vector<Segment>& segments);
+
+/// O(n*m) reference.
+std::vector<BelowResult> segment_below_points_brute(
+    const std::vector<Segment>& segments, const std::vector<Point2>& queries);
+
+/// Trapezoidal-decomposition neighbor records: for both endpoints of every
+/// segment, the segments immediately below and above — the vertical-
+/// visibility information that defines the trapezoids of the decomposition
+/// (paper Fig. 5 Group B row 1). Two next-element passes (the "above" pass
+/// runs on the y-mirrored scene).
+struct TrapNeighbors {
+  std::uint64_t segment_id = 0;
+  std::uint64_t below_left = kNoSegment;   ///< below the left endpoint
+  std::uint64_t above_left = kNoSegment;   ///< above the left endpoint
+  std::uint64_t below_right = kNoSegment;  ///< below the right endpoint
+  std::uint64_t above_right = kNoSegment;  ///< above the right endpoint
+};
+
+/// Results sorted by segment id.
+std::vector<TrapNeighbors> trapezoidal_neighbors(
+    cgm::Machine& m, const std::vector<Segment>& segments);
+
+}  // namespace emcgm::geom

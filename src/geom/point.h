@@ -1,0 +1,74 @@
+// Geometric primitive types shared by the GIS/computational-geometry
+// algorithms (paper Fig. 5 Group B) plus synthetic workload generators.
+//
+// General-position assumption: the CGM geometry algorithms cited by the
+// paper (Dehne, Fabri, Rau-Chaplin et al.) assume pairwise distinct
+// coordinates where ties would be ambiguous (3D maxima, dominance). The
+// generators produce uniform random doubles, where collisions have
+// probability ~0; preconditions are documented per algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emcgm::geom {
+
+struct Point2 {
+  double x = 0, y = 0;
+  std::uint64_t id = 0;
+};
+
+struct Point3 {
+  double x = 0, y = 0, z = 0;
+  std::uint64_t id = 0;
+};
+
+/// Weighted planar point (dominance counting).
+struct WPoint2 {
+  double x = 0, y = 0;
+  std::uint64_t w = 0;
+  std::uint64_t id = 0;
+};
+
+/// Axis-aligned rectangle [x1, x2) x [y1, y2).
+struct Rect {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  std::uint64_t id = 0;
+};
+
+/// Line segment from (x1, y1) to (x2, y2), x1 < x2.
+struct Segment {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  std::uint64_t id = 0;
+};
+
+/// Closed 1D interval [lo, hi].
+struct Interval {
+  double lo = 0, hi = 0;
+  std::uint64_t id = 0;
+};
+
+// ------------------------------------------------------------ generators --
+
+std::vector<Point2> random_points2(std::uint64_t seed, std::size_t n);
+std::vector<Point3> random_points3(std::uint64_t seed, std::size_t n);
+std::vector<WPoint2> random_wpoints2(std::uint64_t seed, std::size_t n,
+                                     std::uint64_t max_w = 100);
+
+/// Rectangles with extents bounded by max_extent (keeps the slab-spanning
+/// communication of the union-area algorithm at O(N/v); see DESIGN.md).
+std::vector<Rect> random_rects(std::uint64_t seed, std::size_t n,
+                               double max_extent = 0.05);
+
+/// Pairwise non-crossing segments: generated on distinct horizontal levels
+/// with bounded x-extent (lower-envelope precondition).
+std::vector<Segment> random_noncrossing_segments(std::uint64_t seed,
+                                                 std::size_t n,
+                                                 double max_extent = 0.05);
+
+std::vector<Interval> random_intervals(std::uint64_t seed, std::size_t n,
+                                       double max_extent = 0.1);
+
+}  // namespace emcgm::geom

@@ -1,0 +1,27 @@
+// Area of the union of N axis-aligned rectangles (paper Fig. 5 Group B
+// row 6), by slab decomposition:
+//   - v - 1 x-splitters are chosen by regular sampling of rectangle x-events
+//     (2 rounds), defining v vertical slabs;
+//   - every rectangle is routed (clipped) to each slab it overlaps;
+//   - each slab runs the classical Bentley sweep (segment tree over
+//     compressed y with cover counts) over its clipped events;
+//   - partial areas are summed at processor 0.
+// lambda = 5 compound supersteps. The slab-spanning distribution keeps
+// h = O(N/v) when rectangle extents are bounded relative to the slab width
+// (true for the benchmark workloads; see DESIGN.md for the deviation note).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+/// Exact area of the union.
+double rect_union_area(cgm::Machine& m, const std::vector<Rect>& rects);
+
+/// O(n^2)-ish reference via full coordinate compression (exact).
+double rect_union_area_brute(const std::vector<Rect>& rects);
+
+}  // namespace emcgm::geom

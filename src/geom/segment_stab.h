@@ -1,0 +1,48 @@
+// Batched interval stabbing (the Group B row 1 representative — segment
+// tree construction + batched point location, reduced to its 1D counting
+// core): given N closed intervals and M query points, report for every
+// query the number of intervals containing it.
+//
+// Constant-round CGM algorithm using the identity
+//   count(q) = #{lo <= q} - #{hi < q}:
+// the lo and hi endpoint arrays are sample-sorted; per-chunk maxima and
+// counts are all-gathered; each query is routed to the unique lo-chunk and
+// hi-chunk that resolve its two global ranks by local binary search, and
+// the two partial answers return to the query's owner.
+//
+// Precondition for exactness at boundaries: query values distinct from
+// endpoint values OR no duplicate endpoint values straddling a chunk
+// boundary (random doubles satisfy both).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+struct StabCount {
+  std::uint64_t id = 0;     ///< query id
+  std::uint64_t count = 0;  ///< intervals containing the query point
+};
+
+struct StabQuery {
+  double x = 0;
+  std::uint64_t id = 0;
+};
+
+cgm::DistVec<StabCount> interval_stabbing(cgm::Machine& m,
+                                          cgm::DistVec<Interval> intervals,
+                                          cgm::DistVec<StabQuery> queries);
+
+/// One-call convenience; results sorted by id.
+std::vector<StabCount> interval_stabbing(cgm::Machine& m,
+                                         const std::vector<Interval>& iv,
+                                         const std::vector<StabQuery>& qs);
+
+/// O(n*m) reference; results sorted by id.
+std::vector<StabCount> interval_stabbing_brute(
+    const std::vector<Interval>& iv, const std::vector<StabQuery>& qs);
+
+}  // namespace emcgm::geom

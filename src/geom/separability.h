@@ -1,0 +1,51 @@
+// Uni-directional and multi-directional separability (paper Fig. 5 Group B
+// row 7): given two point sets A and B (interpreted as solid convex
+// regions, i.e. their hulls), decide for a direction d whether A can be
+// translated to infinity along d without colliding with B, and compute the
+// full set of separating directions.
+//
+// Reduction: A escapes along d iff the origin ray in direction d misses
+// the Minkowski difference hull(B) (-) hull(A) = { b - a }. The two hulls
+// are computed with the CGM convex-hull algorithm (sample sort + slab
+// merge); the Minkowski difference of two convex polygons is the classic
+// O(h_A + h_B) edge merge, done on the gathered hulls (h = O(hull sizes),
+// O(log N) expected for random inputs). The blocked directions form one
+// angular interval (possibly empty or full).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "geom/point.h"
+
+namespace emcgm::geom {
+
+/// The set of separating directions. The Minkowski difference D of two
+/// non-empty hulls is non-empty, so some cone of directions is always
+/// blocked unless the hulls overlap entirely.
+struct Separability {
+  bool never = false;  ///< no direction separates (origin inside or on the
+                       ///< Minkowski difference: the hulls intersect)
+  /// When !never: directions whose angle lies in the closed arc from
+  /// blocked_lo to blocked_hi (counter-clockwise, possibly wrapping past
+  /// 2*pi, always spanning < pi) are blocked; everything else separates.
+  double blocked_lo = 0;
+  double blocked_hi = 0;
+};
+
+/// Multi-directional separability of A from B.
+Separability separating_directions(cgm::Machine& m,
+                                   const std::vector<Point2>& a,
+                                   const std::vector<Point2>& b);
+
+/// Uni-directional: can A escape along direction (dx, dy)?
+bool separable_in_direction(cgm::Machine& m, const std::vector<Point2>& a,
+                            const std::vector<Point2>& b, double dx,
+                            double dy);
+
+/// Reference: ray-vs-convex-hull test over all pairwise differences.
+bool separable_in_direction_brute(const std::vector<Point2>& a,
+                                  const std::vector<Point2>& b, double dx,
+                                  double dy);
+
+}  // namespace emcgm::geom

@@ -1,0 +1,52 @@
+// Biconnected components (paper Fig. 5 Group C row 2), by the classic
+// Tarjan-Vishkin reduction — a flagship composition of the library:
+//   1. spanning tree (hook-and-contract connectivity),
+//   2. Euler tour -> parent / preorder / subtree size,
+//   3. low/high: for every vertex, the min/max preorder reachable from its
+//      subtree through one non-tree edge — a batched subtree-interval
+//      aggregate over the preorder-ordered array, resolved with the same
+//      block-decomposition range queries as LCA (O(1) rounds),
+//   4. the auxiliary graph on tree edges (Tarjan-Vishkin rules 1-2), whose
+//      connected components are the biconnected components,
+//   5. every non-tree edge inherits the component of its deeper endpoint's
+//      parent edge.
+// Total lambda = O(log^2 n) worst case (dominated by the two connectivity
+// runs); I/O linear in V+E per round.
+//
+// Precondition: the graph is connected and free of self-loops (parallel
+// edges are allowed and form their own 2-edge components).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+/// One label per input edge (same index order); edges with equal labels
+/// form one biconnected component. Labels are arbitrary but consistent.
+std::vector<std::uint64_t> biconnected_components(
+    cgm::Machine& m, const std::vector<Edge>& edges,
+    std::uint64_t n_vertices);
+
+/// Sequential reference (iterative Tarjan/Hopcroft DFS).
+std::vector<std::uint64_t> biconnected_components_seq(
+    const std::vector<Edge>& edges, std::uint64_t n_vertices);
+
+/// Test helper: canonicalize a labeling so that two labelings of the same
+/// edge set compare equal iff they induce the same partition.
+std::vector<std::uint64_t> canonical_partition(
+    const std::vector<std::uint64_t>& labels);
+
+/// Batched subtree aggregates over preorder-relabeled vertices: given
+/// per-vertex values in preorder layout and the subtree sizes, returns
+/// (min over subtree of mmin, max over subtree of mmax) for every vertex —
+/// the O(1)-round block-decomposition range primitive shared by the
+/// biconnectivity and ear-decomposition reductions.
+std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>
+subtree_min_max(cgm::Machine& m, const std::vector<std::uint64_t>& mmin,
+                const std::vector<std::uint64_t>& mmax,
+                const std::vector<std::uint64_t>& sz_by_pre);
+
+}  // namespace emcgm::graph

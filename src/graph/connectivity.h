@@ -1,0 +1,41 @@
+// Connected components and spanning forest (paper Fig. 5 Group C row 2),
+// by distributed hook-and-contract:
+//   - every Boruvka iteration, each edge refreshes its endpoints' component
+//     labels (star roots), components propose their minimum neighboring
+//     label, and every root hooks onto a strictly smaller proposal — the
+//     proposing edge joins the spanning forest;
+//   - pointer jumping (ceil(log2 n) + 1 rounds) restores the star
+//     invariant;
+//   - iterations stop when no edge crosses two components.
+// The component id of a vertex converges to the minimum vertex id of its
+// component. O(log n) iterations; lambda = O(log^2 n) supersteps worst case
+// (the paper's O(log v) algorithm needs heavier machinery; shapes — linear
+// in V+E per round — are preserved; see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+struct Component {
+  std::uint64_t id = 0;    ///< vertex
+  std::uint64_t comp = 0;  ///< minimum vertex id of its component
+};
+
+struct ConnectivityResult {
+  std::vector<Component> components;  ///< one per vertex, sorted by id
+  std::vector<Edge> forest;           ///< a spanning forest
+};
+
+ConnectivityResult connected_components(cgm::Machine& m,
+                                        const std::vector<Edge>& edges,
+                                        std::uint64_t n_vertices);
+
+/// Sequential reference (union-find with min-id canonical labels).
+std::vector<Component> connected_components_seq(const std::vector<Edge>& edges,
+                                                std::uint64_t n_vertices);
+
+}  // namespace emcgm::graph

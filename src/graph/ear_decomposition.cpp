@@ -1,0 +1,215 @@
+#include "graph/ear_decomposition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/biconnectivity.h"
+#include "graph/connectivity.h"
+#include "graph/euler_tour.h"
+#include "graph/lca.h"
+
+namespace emcgm::graph {
+
+namespace {
+
+constexpr std::uint64_t kInfLabel = ~std::uint64_t{0};
+
+}  // namespace
+
+std::vector<std::uint64_t> ear_decomposition(cgm::Machine& m,
+                                             const std::vector<Edge>& edges,
+                                             std::uint64_t n_vertices) {
+  EMCGM_CHECK(n_vertices >= 3);
+  for (const auto& e : edges) {
+    EMCGM_CHECK_MSG(e.u != e.v, "self-loops are not allowed");
+  }
+
+  // Spanning tree + Euler tour.
+  auto cc = connected_components(m, edges, n_vertices);
+  std::unordered_set<std::uint64_t> comps;
+  for (const auto& c : cc.components) comps.insert(c.comp);
+  EMCGM_CHECK_MSG(comps.size() == 1,
+                  "ear_decomposition requires a connected graph");
+  auto tour = euler_tour_full(m, cc.forest, n_vertices);
+  auto euler = m.gather(tour.verts);
+  std::sort(euler.begin(), euler.end(),
+            [](const EulerResult& a, const EulerResult& b) {
+              return a.id < b.id;
+            });
+  std::vector<std::uint64_t> pre(n_vertices), depth_by_pre(n_vertices),
+      sz_by_pre(n_vertices), parent_pre(n_vertices, kNil);
+  for (const auto& r : euler) {
+    pre[static_cast<std::size_t>(r.id)] = r.preorder;
+    depth_by_pre[static_cast<std::size_t>(r.preorder)] = r.depth;
+    sz_by_pre[static_cast<std::size_t>(r.preorder)] = r.subtree;
+    if (r.parent != kNil) {
+      parent_pre[static_cast<std::size_t>(r.preorder)] =
+          pre[static_cast<std::size_t>(r.parent)];
+    }
+  }
+
+  // Classify edges; non-tree edges become batched LCA queries.
+  std::unordered_set<std::uint64_t> tree_set;
+  auto key = [&](std::uint64_t a, std::uint64_t b) {
+    if (a > b) std::swap(a, b);
+    return a * n_vertices + b;
+  };
+  for (const auto& e : cc.forest) tree_set.insert(key(e.u, e.v));
+  std::vector<std::size_t> nontree_idx;
+  std::vector<LcaQuery> queries;
+  std::unordered_set<std::uint64_t> used_tree;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint64_t k = key(edges[i].u, edges[i].v);
+    if (tree_set.count(k) && !used_tree.count(k)) {
+      used_tree.insert(k);
+      continue;
+    }
+    queries.push_back(
+        LcaQuery{edges[i].u, edges[i].v, nontree_idx.size()});
+    nontree_idx.push_back(i);
+  }
+  EMCGM_CHECK_MSG(!queries.empty(),
+                  "a biconnected graph on >= 3 vertices has a non-tree edge");
+  auto lcas = lca_batch(m, tour, queries);
+
+  // Labels: (LCA depth, serial) packed into one word; smaller = shallower.
+  EMCGM_CHECK(nontree_idx.size() < (1ull << 32));
+  std::vector<std::uint64_t> label(nontree_idx.size());
+  std::vector<std::uint64_t> mmin(n_vertices, kInfLabel);
+  for (std::size_t q = 0; q < lcas.size(); ++q) {
+    const auto serial = static_cast<std::size_t>(lcas[q].qid);
+    const std::uint64_t d =
+        depth_by_pre[static_cast<std::size_t>(
+            pre[static_cast<std::size_t>(lcas[q].lca)])];
+    label[serial] = (d << 32) | serial;
+    const Edge& e = edges[nontree_idx[serial]];
+    for (std::uint64_t x : {e.u, e.v}) {
+      auto& slot = mmin[static_cast<std::size_t>(pre[x])];
+      slot = std::min(slot, label[serial]);
+    }
+  }
+
+  // Tree edge (p(w), w) joins the minimum label seen in subtree(w):
+  // covering edges have strictly shallower LCAs than subtree-internal
+  // ones, so the subtree minimum is always a covering edge.
+  auto [subtree_min, subtree_max] =
+      subtree_min_max(m, mmin, mmin, sz_by_pre);
+  (void)subtree_max;
+
+  // Assemble raw labels per input edge, then renumber ears by label order.
+  std::vector<std::uint64_t> raw(edges.size());
+  std::unordered_set<std::uint64_t> used2;
+  std::size_t serial = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint64_t k = key(edges[i].u, edges[i].v);
+    if (tree_set.count(k) && !used2.count(k)) {
+      used2.insert(k);
+      const std::uint64_t a = pre[static_cast<std::size_t>(edges[i].u)];
+      const std::uint64_t b = pre[static_cast<std::size_t>(edges[i].v)];
+      const std::uint64_t w =
+          parent_pre[static_cast<std::size_t>(a)] == b ? a : b;
+      raw[i] = subtree_min[static_cast<std::size_t>(w)];
+      EMCGM_CHECK_MSG(raw[i] != kInfLabel,
+                      "bridge found: the graph is not 2-edge-connected");
+      // A genuine covering edge has a strictly shallower LCA than w; a
+      // subtree-internal minimum means no edge leaves the subtree.
+      EMCGM_CHECK_MSG((raw[i] >> 32) <
+                          depth_by_pre[static_cast<std::size_t>(w)],
+                      "bridge found: the graph is not 2-edge-connected");
+    } else {
+      raw[i] = label[serial++];
+    }
+  }
+  std::vector<std::uint64_t> distinct = raw;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::unordered_map<std::uint64_t, std::uint64_t> rank;
+  for (std::size_t i = 0; i < distinct.size(); ++i) rank[distinct[i]] = i;
+  std::vector<std::uint64_t> ears(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) ears[i] = rank[raw[i]];
+  return ears;
+}
+
+std::string validate_ear_decomposition(
+    const std::vector<Edge>& edges, std::uint64_t n_vertices,
+    const std::vector<std::uint64_t>& ear) {
+  if (ear.size() != edges.size()) return "label count mismatch";
+  std::map<std::uint64_t, std::vector<std::size_t>> by_ear;
+  for (std::size_t i = 0; i < edges.size(); ++i) by_ear[ear[i]].push_back(i);
+
+  std::vector<char> visited(n_vertices, 0);
+  bool first = true;
+  for (const auto& [id, members] : by_ear) {
+    // Degree map of the ear's edges.
+    std::map<std::uint64_t, int> deg;
+    for (auto i : members) {
+      deg[edges[i].u]++;
+      deg[edges[i].v]++;
+    }
+    std::size_t deg1 = 0, deg2 = 0;
+    for (const auto& [v_, d] : deg) {
+      if (d == 1) {
+        ++deg1;
+      } else if (d == 2) {
+        ++deg2;
+      } else {
+        return "ear " + std::to_string(id) + " has a vertex of degree " +
+               std::to_string(d);
+      }
+    }
+    const bool is_cycle = deg1 == 0;
+    const bool is_path = deg1 == 2;
+    if (!is_cycle && !is_path) {
+      return "ear " + std::to_string(id) + " is neither path nor cycle";
+    }
+    if (is_cycle && members.size() != deg.size()) {
+      return "ear " + std::to_string(id) + " cycle is not simple";
+    }
+    if (is_path && members.size() + 1 != deg.size()) {
+      return "ear " + std::to_string(id) + " path is not simple";
+    }
+    if (first) {
+      if (!is_cycle) return "ear 0 is not a cycle";
+      first = false;
+      for (const auto& [v_, d] : deg) visited[static_cast<std::size_t>(v_)] = 1;
+      continue;
+    }
+    // Later ears: attachment points are visited; interior vertices fresh.
+    std::size_t attach = 0, fresh = 0;
+    for (const auto& [v_, d] : deg) {
+      const bool old = visited[static_cast<std::size_t>(v_)];
+      if (is_path && d == 1) {
+        if (!old) {
+          return "ear " + std::to_string(id) +
+                 " path endpoint not on earlier ears";
+        }
+        ++attach;
+      } else if (old) {
+        ++attach;  // cycles may reuse exactly one anchor vertex
+        if (is_path) {
+          return "ear " + std::to_string(id) +
+                 " path interior touches earlier ears";
+        }
+      } else {
+        ++fresh;
+      }
+    }
+    if (is_cycle && attach != 1) {
+      return "ear " + std::to_string(id) + " cycle has " +
+             std::to_string(attach) + " anchors (want 1)";
+    }
+    for (const auto& [v_, d] : deg) visited[static_cast<std::size_t>(v_)] = 1;
+  }
+  for (std::uint64_t x = 0; x < n_vertices; ++x) {
+    if (!visited[static_cast<std::size_t>(x)]) {
+      return "vertex " + std::to_string(x) + " on no ear";
+    }
+  }
+  return {};
+}
+
+}  // namespace emcgm::graph

@@ -1,0 +1,44 @@
+// Ear decomposition (paper Fig. 5 Group C row 2) of a 2-edge-connected
+// graph, by the Tarjan-Vishkin-style LCA labeling:
+//   - spanning tree + Euler tour (parent, preorder, subtree size, depth);
+//   - every non-tree edge gets the label (depth of its endpoints' LCA,
+//     serial), computed with the batched LCA module;
+//   - a tree edge (p(w), w) joins the ear of the minimum-label non-tree
+//     edge covering it, which — because covering edges have strictly
+//     shallower LCAs than edges internal to subtree(w) — is the minimum
+//     over subtree(w) of the per-vertex minimum incident label: one
+//     batched subtree aggregate (same machinery as biconnectivity);
+//   - ears are renumbered 0..k-1 by increasing label; ear 0 is a cycle and
+//     every later ear is a path whose endpoints lie on earlier ears, or —
+//     at a cut vertex — a cycle anchored on one earlier vertex (a closed
+//     ear). The decomposition is open (no closed ears after the first)
+//     exactly when the graph is biconnected.
+// lambda = O(log^2 n) worst case (dominated by connectivity); I/O linear
+// in V+E per round.
+//
+// Precondition: the graph is 2-edge-connected (bridges are detected and
+// rejected); self-loops are rejected, parallel edges allowed.
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+/// One ear index per input edge (same order); ears are numbered 0..k-1 in
+/// construction order (ear 0 is the initial cycle). k = m - n + 1.
+std::vector<std::uint64_t> ear_decomposition(cgm::Machine& m,
+                                             const std::vector<Edge>& edges,
+                                             std::uint64_t n_vertices);
+
+/// Validity check used by the tests (and available to users): every ear is
+/// a simple path or cycle; ear 0 is a cycle; for i > 0, ear i's endpoints
+/// (and only its endpoints) touch vertices of earlier ears. Returns an
+/// explanatory string on failure, empty on success.
+std::string validate_ear_decomposition(const std::vector<Edge>& edges,
+                                       std::uint64_t n_vertices,
+                                       const std::vector<std::uint64_t>& ear);
+
+}  // namespace emcgm::graph

@@ -1,0 +1,70 @@
+// Euler tour of a tree (paper Fig. 5 Group C row 1) and its classic
+// derivations: parent, depth, preorder number, and subtree size of every
+// vertex, relative to root 0.
+//
+// Pipeline (each stage a CGM program on the shared machine):
+//   1. double the undirected edges, sample-sort the 2(n-1) directed edges
+//      by (src, dst): the global rank becomes the edge id;
+//   2. adjacency lists are routed to vertex owners; every edge (u, v) asks
+//      owner(v) for its tour successor (v, next-neighbor-after-u, cyclic),
+//      with the wrap-around at the root cut to form a linear list;
+//   3. list ranking gives every edge its tour position;
+//   4. per-vertex reports give parent (minimum-position incoming edge),
+//      first/last visit positions and subtree size; per-edge down/up flags;
+//   5. the +-1 depth deltas and down-indicators are permuted into tour
+//      order and prefix-summed (CGMPermute + scan); vertices look up their
+//      depth and preorder at their first-visit position.
+// Total lambda = O(log v) (dominated by list ranking).
+//
+// Precondition: connected tree on dense vertex ids 0..n-1 with root 0;
+// maximum vertex degree O(N/v) (adjacency lists must fit one processor).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+struct EulerResult {
+  std::uint64_t id = 0;
+  std::uint64_t parent = kNil;  ///< kNil for the root
+  std::uint64_t depth = 0;
+  std::uint64_t preorder = 0;
+  std::uint64_t subtree = 1;    ///< number of vertices in the subtree
+  std::uint64_t first_pos = 0;  ///< tour position of the down edge into id
+                                ///< (undefined for the root)
+};
+
+/// Full tour product: per-vertex derivations plus the tour itself as the
+/// sequence of edge destinations in tour-position order (used by LCA).
+struct EulerTourData {
+  cgm::DistVec<EulerResult> verts;    ///< vertex-chunk layout
+  cgm::DistVec<std::uint64_t> tour;   ///< position-chunk layout, length
+                                      ///< 2(n-1): vertex entered at each pos
+  std::uint64_t n_vertices = 0;
+};
+
+/// Tour positions of the directed tree edges plus all per-vertex
+/// derivations, in vertex-chunk layout.
+cgm::DistVec<EulerResult> euler_tour(cgm::Machine& m,
+                                     const std::vector<Edge>& tree_edges,
+                                     std::uint64_t n_vertices);
+
+/// Like euler_tour but also returns the tour vertex sequence (requires
+/// n_vertices >= 2).
+EulerTourData euler_tour_full(cgm::Machine& m,
+                              const std::vector<Edge>& tree_edges,
+                              std::uint64_t n_vertices);
+
+/// One-call convenience; results sorted by vertex id.
+std::vector<EulerResult> euler_tour_all(cgm::Machine& m,
+                                        const std::vector<Edge>& tree_edges,
+                                        std::uint64_t n_vertices);
+
+/// Sequential reference (DFS from root 0).
+std::vector<EulerResult> euler_tour_seq(const std::vector<Edge>& tree_edges,
+                                        std::uint64_t n_vertices);
+
+}  // namespace emcgm::graph

@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace emcgm::graph {
+
+std::vector<ListNode> random_list(std::uint64_t seed, std::size_t n) {
+  // A random permutation visits every id once; chain consecutive visits.
+  auto order = random_permutation(seed, n);
+  std::vector<ListNode> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i].id = order[i];
+    nodes[i].next = i + 1 < n ? order[i + 1] : kNil;
+  }
+  // Present nodes in id order (distribution layout is by id).
+  std::sort(nodes.begin(), nodes.end(),
+            [](const ListNode& a, const ListNode& b) { return a.id < b.id; });
+  return nodes;
+}
+
+std::vector<Edge> random_tree(std::uint64_t seed, std::size_t n) {
+  EMCGM_CHECK(n >= 1);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    edges.push_back(Edge{rng.next_below(i), i});
+  }
+  return edges;
+}
+
+std::vector<Edge> gnm_graph(std::uint64_t seed, std::size_t n,
+                            std::size_t m) {
+  EMCGM_CHECK(n >= 2);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    std::uint64_t u = rng.next_below(n), v = rng.next_below(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = u * n + v;
+    if (used.insert(key).second) edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> path_forest(std::size_t n, std::size_t k) {
+  EMCGM_CHECK(k >= 1 && k <= n);
+  const std::uint64_t seg = (n + k - 1) / k;  // path length
+  std::vector<Edge> edges;
+  for (std::uint64_t i = 1; i < n; ++i) {
+    if (i % seg == 0) continue;  // start a new path
+    edges.push_back(Edge{i - 1, i});
+  }
+  return edges;
+}
+
+std::vector<ExprNode> random_expression(std::uint64_t seed,
+                                        std::size_t n_leaves,
+                                        std::uint64_t* root_out) {
+  EMCGM_CHECK(n_leaves >= 1);
+  Rng rng(seed);
+  // Grow a full binary tree by repeatedly splitting a random leaf.
+  std::vector<ExprNode> nodes;
+  nodes.push_back(ExprNode{0, kNil, kNil, kNil, 0, 0, rng.next()});
+  std::vector<std::uint64_t> leaves{0};
+  while (leaves.size() < n_leaves) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.next_below(leaves.size()));
+    const std::uint64_t leaf = leaves[pick];
+    const std::uint64_t l = nodes.size(), r = nodes.size() + 1;
+    nodes.push_back(
+        ExprNode{l, leaf, kNil, kNil, 0, 0, rng.next()});
+    nodes.push_back(
+        ExprNode{r, leaf, kNil, kNil, 0, 0, rng.next()});
+    nodes[static_cast<std::size_t>(leaf)].left = l;
+    nodes[static_cast<std::size_t>(leaf)].right = r;
+    nodes[static_cast<std::size_t>(leaf)].op =
+        rng.next_bool() ? 1u : 2u;  // '+' or '*'
+    nodes[static_cast<std::size_t>(leaf)].value = 0;
+    leaves[pick] = l;
+    leaves.push_back(r);
+  }
+  if (root_out) *root_out = 0;
+  return nodes;
+}
+
+std::uint64_t eval_expression(const std::vector<ExprNode>& nodes,
+                              std::uint64_t root) {
+  const ExprNode& n = nodes[static_cast<std::size_t>(root)];
+  if (n.op == 0) return n.value;
+  const std::uint64_t a = eval_expression(nodes, n.left);
+  const std::uint64_t b = eval_expression(nodes, n.right);
+  return n.op == 1 ? a + b : a * b;
+}
+
+}  // namespace emcgm::graph

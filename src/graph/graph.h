@@ -1,0 +1,64 @@
+// Graph/list/tree types and synthetic workload generators (paper Fig. 5
+// Group C). Vertices are dense ids 0..n-1; the distributed algorithms
+// assign vertex x to its even-chunk owner chunk_owner(n, v, x).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emcgm::graph {
+
+inline constexpr std::uint64_t kNil = ~std::uint64_t{0};
+
+/// A node of a singly linked list: `id` points to `next` (kNil at the tail).
+struct ListNode {
+  std::uint64_t id = 0;
+  std::uint64_t next = kNil;
+};
+
+/// Undirected edge.
+struct Edge {
+  std::uint64_t u = 0, v = 0;
+};
+
+/// A rooted-tree node for expression evaluation: internal nodes have two
+/// children and an operator, leaves carry a value. parent == kNil at root.
+struct ExprNode {
+  std::uint64_t id = 0;
+  std::uint64_t parent = kNil;
+  std::uint64_t left = kNil;
+  std::uint64_t right = kNil;
+  std::uint32_t op = 0;     ///< 0 = leaf, 1 = '+', 2 = '*'
+  std::uint32_t pad = 0;
+  std::uint64_t value = 0;  ///< leaf constant (arithmetic mod 2^64)
+};
+
+// ------------------------------------------------------------ generators --
+
+/// A random linked list over ids 0..n-1 (one head, one tail), i.e. a random
+/// permutation chained together.
+std::vector<ListNode> random_list(std::uint64_t seed, std::size_t n);
+
+/// A random rooted tree on vertices 0..n-1 (root 0) as an undirected edge
+/// list: vertex i attaches to a uniform random earlier vertex.
+std::vector<Edge> random_tree(std::uint64_t seed, std::size_t n);
+
+/// G(n, m): m distinct random undirected edges (no self-loops).
+std::vector<Edge> gnm_graph(std::uint64_t seed, std::size_t n, std::size_t m);
+
+/// A graph that is a disjoint union of k paths (adversarial diameter).
+std::vector<Edge> path_forest(std::size_t n, std::size_t k);
+
+/// A random full binary expression tree with n_leaves leaves over {+, *}
+/// (ids 0..2*n_leaves-2, root id returned via root_out).
+std::vector<ExprNode> random_expression(std::uint64_t seed,
+                                        std::size_t n_leaves,
+                                        std::uint64_t* root_out = nullptr);
+
+/// Sequential reference evaluation of an expression tree (mod 2^64).
+std::uint64_t eval_expression(const std::vector<ExprNode>& nodes,
+                              std::uint64_t root);
+
+}  // namespace emcgm::graph

@@ -1,0 +1,50 @@
+// Batched lowest common ancestors (paper Fig. 5 Group C row 1), by the
+// classic Euler tour + range-minimum reduction:
+//   - euler_tour_full supplies each vertex's depth and first-visit tour
+//     position, plus the tour's vertex sequence;
+//   - the tour sequence is annotated with depths (one join round) and each
+//     position chunk's minimum is all-gathered, giving every processor a
+//     v-entry block-minimum table;
+//   - LCA(u, v) = the minimum-depth vertex entered on tour positions
+//     [first(u), first(v)]: the two boundary chunks answer partial minima,
+//     the middle comes from the block table.
+// lambda = O(log v) total (dominated by the tour's list ranking); the LCA
+// resolution itself is O(1) rounds.
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/euler_tour.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+struct LcaQuery {
+  std::uint64_t u = 0, v = 0;
+  std::uint64_t qid = 0;
+};
+
+struct LcaResult {
+  std::uint64_t qid = 0;
+  std::uint64_t lca = 0;
+};
+
+/// Resolve queries against an already-computed tour (reusable across
+/// batches).
+std::vector<LcaResult> lca_batch(cgm::Machine& m, const EulerTourData& tour,
+                                 const std::vector<LcaQuery>& queries);
+
+/// One-call convenience: builds the tour then resolves; results sorted by
+/// qid.
+std::vector<LcaResult> lca_batch(cgm::Machine& m,
+                                 const std::vector<Edge>& tree_edges,
+                                 std::uint64_t n_vertices,
+                                 const std::vector<LcaQuery>& queries);
+
+/// Sequential reference (per-query upward walk).
+std::vector<LcaResult> lca_seq(const std::vector<Edge>& tree_edges,
+                               std::uint64_t n_vertices,
+                               const std::vector<LcaQuery>& queries);
+
+}  // namespace emcgm::graph

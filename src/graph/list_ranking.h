@@ -1,0 +1,52 @@
+// List ranking (paper Fig. 5 Group C row 1): for every node of a linked
+// list, its weighted distance to the tail of its list (tail = 0; with unit
+// weights, the hop count).
+//
+// Randomized ruling-set contraction, the CGM scheme the paper cites:
+//   - every round, each node flips a deterministic per-(round, id) coin;
+//     node x is removed iff coin(x) = 1 and coin(succ(x)) = 0 — an
+//     independent set, expected |removed| = n/4 — and its neighbors are
+//     spliced together with accumulated weights;
+//   - after O(log v) rounds the remnant has <= max(N/v, 64) nodes and is
+//     ranked sequentially on processor 0;
+//   - removed nodes are re-ranked in reverse round order, two supersteps
+//     per round (query successor's rank, add the spliced weight).
+// Total lambda = O(log v) in expectation, each round an h-relation with
+// h = O(N/v); simulated I/O O(N log v / (pDB)).
+//
+// Supports multiple disjoint lists in one input (a forest of lists).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+struct ListRank {
+  std::uint64_t id = 0;
+  std::uint64_t rank = 0;  ///< weighted distance to the tail
+};
+
+/// Ranks for nodes given in id order (ids dense 0..n-1); the result is in
+/// the same id-chunk layout.
+cgm::DistVec<ListRank> list_ranking(cgm::Machine& m,
+                                    cgm::DistVec<ListNode> nodes,
+                                    std::uint64_t total);
+
+/// Weighted variant: weights[i] is the cost of the link from node i to its
+/// successor (ignored at tails); rank = total link weight to the tail.
+cgm::DistVec<ListRank> list_ranking_weighted(
+    cgm::Machine& m, cgm::DistVec<ListNode> nodes,
+    cgm::DistVec<std::uint64_t> weights, std::uint64_t total);
+
+/// One-call convenience; nodes may be in any order (sorted internally);
+/// results sorted by id.
+std::vector<ListRank> list_ranking(cgm::Machine& m,
+                                   std::vector<ListNode> nodes);
+
+/// Sequential reference.
+std::vector<ListRank> list_ranking_seq(std::vector<ListNode> nodes);
+
+}  // namespace emcgm::graph

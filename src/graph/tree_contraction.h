@@ -1,0 +1,34 @@
+// Parallel expression-tree evaluation by rake-based tree contraction
+// (paper Fig. 5 Group C row 1: tree contraction / expression tree
+// evaluation). Evaluates a full binary expression tree over {+, *} with
+// arithmetic mod 2^64 (exact, associativity-safe).
+//
+// Classic JaJa-style contraction:
+//   - leaves are numbered left-to-right via the Euler tour: the tour of the
+//     expression tree is built directly from the parent/left/right
+//     structure (2 supersteps), list-ranked, and the leaf visit order is
+//     extracted with a sample sort;
+//   - each contraction round rakes the odd-numbered leaves that are left
+//     children, then those that are right children: a rake removes a leaf
+//     and its parent, splicing the sibling into the grandparent while
+//     composing the pending linear form a*x + b (mod 2^64) that the parent
+//     would have applied — parity of the leaf numbering makes the raked
+//     set conflict-free;
+//   - indices halve each round; O(log n) rounds; each round two
+//     h-relations of O(N/v).
+#pragma once
+
+#include <vector>
+
+#include "cgm/machine.h"
+#include "graph/graph.h"
+
+namespace emcgm::graph {
+
+/// Evaluate the expression tree (nodes in any order, dense ids, full
+/// binary: every internal node has exactly two children).
+std::uint64_t eval_expression_cgm(cgm::Machine& m,
+                                  std::vector<ExprNode> nodes,
+                                  std::uint64_t root);
+
+}  // namespace emcgm::graph

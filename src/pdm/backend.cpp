@@ -1,0 +1,120 @@
+#include "pdm/backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace emcgm::pdm {
+
+// ---------------------------------------------------------------- Memory --
+
+MemoryBackend::MemoryBackend(const DiskGeometry& geom)
+    : StorageBackend(geom), disks_(geom.num_disks) {}
+
+void MemoryBackend::read_block(std::uint32_t disk, std::uint64_t track,
+                               std::span<std::byte> out) {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  EMCGM_CHECK(out.size() == geom_.block_bytes);
+  auto& d = disks_[disk];
+  const std::size_t off = track * geom_.block_bytes;
+  if (off + geom_.block_bytes <= d.size()) {
+    std::memcpy(out.data(), d.data() + off, geom_.block_bytes);
+  } else {
+    // Sparse read: unwritten tracks are all-zero.
+    std::memset(out.data(), 0, out.size());
+    if (off < d.size()) {
+      std::memcpy(out.data(), d.data() + off, d.size() - off);
+    }
+  }
+}
+
+void MemoryBackend::write_block(std::uint32_t disk, std::uint64_t track,
+                                std::span<const std::byte> data) {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  EMCGM_CHECK(data.size() == geom_.block_bytes);
+  auto& d = disks_[disk];
+  const std::size_t off = track * geom_.block_bytes;
+  if (off + geom_.block_bytes > d.size()) d.resize(off + geom_.block_bytes);
+  std::memcpy(d.data() + off, data.data(), geom_.block_bytes);
+}
+
+std::uint64_t MemoryBackend::tracks_used(std::uint32_t disk) const {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  return disks_[disk].size() / geom_.block_bytes;
+}
+
+// ------------------------------------------------------------------ File --
+
+FileBackend::FileBackend(const DiskGeometry& geom, std::string directory)
+    : StorageBackend(geom), dir_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // open() reports failures
+  fds_.reserve(geom.num_disks);
+  paths_.reserve(geom.num_disks);
+  for (std::uint32_t d = 0; d < geom.num_disks; ++d) {
+    std::string path = dir_ + "/disk" + std::to_string(d) + ".bin";
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    EMCGM_CHECK_MSG(fd >= 0, "cannot open " << path << ": "
+                                            << std::strerror(errno));
+    fds_.push_back(fd);
+    paths_.push_back(std::move(path));
+  }
+}
+
+FileBackend::~FileBackend() {
+  for (std::size_t d = 0; d < fds_.size(); ++d) {
+    ::close(fds_[d]);
+    ::unlink(paths_[d].c_str());
+  }
+}
+
+void FileBackend::read_block(std::uint32_t disk, std::uint64_t track,
+                             std::span<std::byte> out) {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  EMCGM_CHECK(out.size() == geom_.block_bytes);
+  const auto off = static_cast<off_t>(track * geom_.block_bytes);
+  const ssize_t n = ::pread(fds_[disk], out.data(), out.size(), off);
+  EMCGM_CHECK_MSG(n >= 0, "pread failed: " << std::strerror(errno));
+  // Short read past EOF = sparse region: zero-fill the tail.
+  if (static_cast<std::size_t>(n) < out.size()) {
+    std::memset(out.data() + n, 0, out.size() - static_cast<std::size_t>(n));
+  }
+}
+
+void FileBackend::write_block(std::uint32_t disk, std::uint64_t track,
+                              std::span<const std::byte> data) {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  EMCGM_CHECK(data.size() == geom_.block_bytes);
+  const auto off = static_cast<off_t>(track * geom_.block_bytes);
+  const ssize_t n = ::pwrite(fds_[disk], data.data(), data.size(), off);
+  EMCGM_CHECK_MSG(n == static_cast<ssize_t>(data.size()),
+                  "pwrite failed: " << std::strerror(errno));
+}
+
+std::uint64_t FileBackend::tracks_used(std::uint32_t disk) const {
+  EMCGM_CHECK(disk < geom_.num_disks);
+  struct stat st{};
+  EMCGM_CHECK(::fstat(fds_[disk], &st) == 0);
+  return static_cast<std::uint64_t>(st.st_size) / geom_.block_bytes;
+}
+
+std::unique_ptr<StorageBackend> make_backend(BackendKind kind,
+                                             const DiskGeometry& geom,
+                                             const std::string& file_dir) {
+  switch (kind) {
+    case BackendKind::kMemory:
+      return std::make_unique<MemoryBackend>(geom);
+    case BackendKind::kFile:
+      EMCGM_CHECK_MSG(!file_dir.empty(),
+                      "FileBackend requires a directory path");
+      return std::make_unique<FileBackend>(geom, file_dir);
+  }
+  EMCGM_CHECK_MSG(false, "unknown backend kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace emcgm::pdm

@@ -1,0 +1,96 @@
+// Storage backends for the simulated disk array.
+//
+// MemoryBackend keeps every track in RAM — the default for tests and
+// benchmarks, where only the I/O *counts* matter. FileBackend stores one
+// flat file per simulated disk and performs real pread/pwrite at
+// track-aligned offsets, demonstrating that the same code path drives real
+// external storage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdm/geometry.h"
+
+namespace emcgm::pdm {
+
+/// Abstract per-disk block store. Implementations must allow sparse writes:
+/// writing track t implicitly materializes (zero-filled) tracks below t.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Copy one block from (disk, track) into out (exactly block_bytes long).
+  /// Reading a never-written track yields zero bytes.
+  virtual void read_block(std::uint32_t disk, std::uint64_t track,
+                          std::span<std::byte> out) = 0;
+
+  /// Copy one block (exactly block_bytes long) to (disk, track).
+  virtual void write_block(std::uint32_t disk, std::uint64_t track,
+                           std::span<const std::byte> data) = 0;
+
+  /// Highest materialized track count per disk (capacity usage reporting).
+  virtual std::uint64_t tracks_used(std::uint32_t disk) const = 0;
+
+  const DiskGeometry& geometry() const { return geom_; }
+
+ protected:
+  explicit StorageBackend(const DiskGeometry& geom) : geom_(geom) {
+    geom_.validate();
+  }
+
+  DiskGeometry geom_;
+};
+
+/// In-RAM backing store; tracks grow on demand.
+class MemoryBackend final : public StorageBackend {
+ public:
+  explicit MemoryBackend(const DiskGeometry& geom);
+
+  void read_block(std::uint32_t disk, std::uint64_t track,
+                  std::span<std::byte> out) override;
+  void write_block(std::uint32_t disk, std::uint64_t track,
+                   std::span<const std::byte> data) override;
+  std::uint64_t tracks_used(std::uint32_t disk) const override;
+
+ private:
+  // disks_[d] is the linearized track data of disk d.
+  std::vector<std::vector<std::byte>> disks_;
+};
+
+/// One flat file per disk under a caller-supplied directory. Files are
+/// created on first use and removed in the destructor.
+class FileBackend final : public StorageBackend {
+ public:
+  FileBackend(const DiskGeometry& geom, std::string directory);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  void read_block(std::uint32_t disk, std::uint64_t track,
+                  std::span<std::byte> out) override;
+  void write_block(std::uint32_t disk, std::uint64_t track,
+                   std::span<const std::byte> data) override;
+  std::uint64_t tracks_used(std::uint32_t disk) const override;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::vector<int> fds_;          // one file descriptor per disk
+  std::vector<std::string> paths_;
+};
+
+/// Backend choice for configuration structs.
+enum class BackendKind { kMemory, kFile };
+
+std::unique_ptr<StorageBackend> make_backend(BackendKind kind,
+                                             const DiskGeometry& geom,
+                                             const std::string& file_dir = "");
+
+}  // namespace emcgm::pdm

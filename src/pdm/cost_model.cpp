@@ -1,0 +1,31 @@
+#include "pdm/cost_model.h"
+
+#include "util/error.h"
+
+namespace emcgm::pdm {
+
+double DiskCostModel::op_seconds(std::size_t block_bytes) const {
+  const double position_s = (avg_seek_ms + avg_rotational_ms) * 1e-3;
+  const double transfer_s =
+      static_cast<double>(block_bytes) / (bandwidth_mb_s * 1e6);
+  return position_s + transfer_s;
+}
+
+double DiskCostModel::io_seconds(const IoStats& stats,
+                                 std::size_t block_bytes) const {
+  return static_cast<double>(stats.total_ops()) * op_seconds(block_bytes);
+}
+
+double DiskCostModel::effective_mb_s(std::size_t block_bytes) const {
+  return static_cast<double>(block_bytes) / op_seconds(block_bytes) / 1e6;
+}
+
+std::size_t DiskCostModel::block_bytes_for_efficiency(double frac) const {
+  EMCGM_CHECK(frac > 0.0 && frac < 1.0);
+  const double position_s = (avg_seek_ms + avg_rotational_ms) * 1e-3;
+  // frac = t / (p + t)  =>  t = p * frac / (1 - frac)
+  const double transfer_s = position_s * frac / (1.0 - frac);
+  return static_cast<std::size_t>(transfer_s * bandwidth_mb_s * 1e6);
+}
+
+}  // namespace emcgm::pdm

@@ -1,0 +1,42 @@
+// Analytic disk service-time model, standing in for the paper's Fig. 8
+// (Stevens' measurements of throughput vs. block size) and for converting
+// counted parallel I/O operations into modeled I/O time (the paper's G).
+//
+// One parallel op positions every participating disk arm once and streams
+// one block: t_op = seek + rotational latency + block_bytes / bandwidth.
+// Because the D disks work concurrently, the op time equals the per-disk
+// time; total modeled I/O time = ops * t_op. Defaults are typical of
+// late-1990s SCSI drives (the paper's testbed era).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pdm/io_stats.h"
+
+namespace emcgm::pdm {
+
+struct DiskCostModel {
+  double avg_seek_ms = 8.5;         ///< average arm positioning time
+  double avg_rotational_ms = 4.17;  ///< half a revolution at 7200 rpm
+  double bandwidth_mb_s = 20.0;     ///< sustained media transfer rate
+
+  /// Service time of one parallel I/O op moving one block per busy disk.
+  double op_seconds(std::size_t block_bytes) const;
+
+  /// Modeled I/O time (the paper's G * #ops) for an operation count.
+  double io_seconds(const IoStats& stats, std::size_t block_bytes) const;
+
+  /// Effective per-disk throughput in MB/s when transferring blocks of the
+  /// given size — the Fig. 8 curve: small blocks are dominated by
+  /// positioning, large blocks approach the media rate.
+  double effective_mb_s(std::size_t block_bytes) const;
+
+  /// Block size (bytes) at which effective throughput reaches the given
+  /// fraction of the sustained media rate. Solving
+  /// frac = transfer / (position + transfer) gives the Fig.-8 knee that
+  /// motivates the paper's B ~ 10^3 items recommendation.
+  std::size_t block_bytes_for_efficiency(double frac) const;
+};
+
+}  // namespace emcgm::pdm

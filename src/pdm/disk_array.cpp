@@ -1,0 +1,70 @@
+#include "pdm/disk_array.h"
+
+namespace emcgm::pdm {
+
+DiskArray::DiskArray(std::unique_ptr<StorageBackend> backend)
+    : backend_(std::move(backend)) {
+  EMCGM_CHECK(backend_ != nullptr);
+  EMCGM_CHECK_MSG(num_disks() <= 64,
+                  "disk-mask validation supports up to 64 disks");
+}
+
+namespace {
+
+// Builds the per-op disk occupancy mask, throwing on a same-disk conflict.
+template <typename Slot>
+std::uint64_t occupancy_mask(std::span<const Slot> slots, std::uint32_t D) {
+  std::uint64_t mask = 0;
+  for (const auto& s : slots) {
+    EMCGM_CHECK_MSG(s.addr.disk < D,
+                    "disk index " << s.addr.disk << " out of range (D=" << D
+                                  << ")");
+    const std::uint64_t bit = 1ULL << s.addr.disk;
+    EMCGM_CHECK_MSG((mask & bit) == 0,
+                    "parallel op touches disk " << s.addr.disk << " twice");
+    mask |= bit;
+  }
+  return mask;
+}
+
+}  // namespace
+
+void DiskArray::parallel_read(std::span<const ReadSlot> slots) {
+  EMCGM_CHECK_MSG(!slots.empty(), "empty parallel read");
+  EMCGM_CHECK_MSG(slots.size() <= num_disks(),
+                  "parallel read of " << slots.size() << " blocks on "
+                                      << num_disks() << " disks");
+  (void)occupancy_mask(slots, num_disks());
+  for (const auto& s : slots) {
+    EMCGM_CHECK(s.out.size() == block_bytes());
+    backend_->read_block(s.addr.disk, s.addr.track, s.out);
+  }
+  stats_.read_ops += 1;
+  stats_.blocks_read += slots.size();
+  if (slots.size() == num_disks()) stats_.full_stripe_ops += 1;
+}
+
+void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
+  EMCGM_CHECK_MSG(!slots.empty(), "empty parallel write");
+  EMCGM_CHECK_MSG(slots.size() <= num_disks(),
+                  "parallel write of " << slots.size() << " blocks on "
+                                       << num_disks() << " disks");
+  (void)occupancy_mask(slots, num_disks());
+  for (const auto& s : slots) {
+    EMCGM_CHECK(s.data.size() == block_bytes());
+    backend_->write_block(s.addr.disk, s.addr.track, s.data);
+  }
+  stats_.write_ops += 1;
+  stats_.blocks_written += slots.size();
+  if (slots.size() == num_disks()) stats_.full_stripe_ops += 1;
+}
+
+std::uint64_t DiskArray::tracks_used() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t d = 0; d < num_disks(); ++d) {
+    total += backend_->tracks_used(d);
+  }
+  return total;
+}
+
+}  // namespace emcgm::pdm

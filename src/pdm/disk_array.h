@@ -1,0 +1,70 @@
+// The Parallel Disk Model I/O device of one (real) processor.
+//
+// DiskArray is where the model's cost rule is *enforced*, not just counted:
+// a parallel operation names up to D blocks, and submitting two blocks on
+// the same disk in one operation is a contract violation (throws). Layout
+// code above this layer (striping.h, emcgm/message_store.*) must therefore
+// genuinely achieve the parallelism it claims — the op counts reported in
+// benchmarks cannot be gamed by accident.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pdm/backend.h"
+#include "pdm/geometry.h"
+#include "pdm/io_stats.h"
+
+namespace emcgm::pdm {
+
+/// One block's worth of a parallel read: destination buffer for addr.
+struct ReadSlot {
+  BlockAddr addr;
+  std::span<std::byte> out;  ///< exactly block_bytes
+};
+
+/// One block's worth of a parallel write: source data for addr.
+struct WriteSlot {
+  BlockAddr addr;
+  std::span<const std::byte> data;  ///< exactly block_bytes
+};
+
+class DiskArray {
+ public:
+  explicit DiskArray(std::unique_ptr<StorageBackend> backend);
+
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
+
+  const DiskGeometry& geometry() const { return backend_->geometry(); }
+  std::uint32_t num_disks() const { return geometry().num_disks; }
+  std::size_t block_bytes() const { return geometry().block_bytes; }
+
+  /// One parallel read of 1..D blocks, at most one per disk. Counts as a
+  /// single I/O operation regardless of how many disks participate
+  /// (paper §6.2: "An operation involving fewer elements incurs the same
+  /// cost").
+  void parallel_read(std::span<const ReadSlot> slots);
+
+  /// One parallel write of 1..D blocks, at most one per disk.
+  void parallel_write(std::span<const WriteSlot> slots);
+
+  const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = IoStats{}; }
+
+  /// Total tracks currently materialized across all disks (space usage).
+  std::uint64_t tracks_used() const;
+
+  StorageBackend& backend() { return *backend_; }
+
+ private:
+  void validate_batch_disks(std::size_t count,
+                            const std::uint64_t disk_mask) const;
+
+  std::unique_ptr<StorageBackend> backend_;
+  IoStats stats_;
+};
+
+}  // namespace emcgm::pdm

@@ -1,0 +1,46 @@
+// Geometry of one processor's disk subsystem in the Parallel Disk Model.
+//
+// A processor owns D disks; each disk is a sequence of tracks; a track holds
+// exactly one block of block_bytes bytes (the paper's B, measured here in
+// bytes — callers working in "items" multiply by their record size). One
+// parallel I/O operation transfers up to D blocks, at most one per disk,
+// with no restriction on which track each disk accesses (paper §6.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace emcgm::pdm {
+
+struct DiskGeometry {
+  std::uint32_t num_disks = 1;     ///< D
+  std::size_t block_bytes = 4096;  ///< B (bytes per block / track)
+
+  void validate() const {
+    EMCGM_CHECK_MSG(num_disks >= 1, "need at least one disk");
+    EMCGM_CHECK_MSG(block_bytes >= 8, "block size too small");
+  }
+};
+
+/// Address of one block: (disk, track). Tracks are unbounded; backends grow
+/// on demand, mirroring the paper's assumption of sufficient disk space.
+struct BlockAddr {
+  std::uint32_t disk = 0;
+  std::uint64_t track = 0;
+
+  friend bool operator==(const BlockAddr&, const BlockAddr&) = default;
+};
+
+/// Consecutive ("striped") format, paper §2.1 footnote 2: the q-th block of a
+/// run that starts at disk offset d and track T0 lives on disk (d+q) mod D at
+/// track T0 + (d+q)/D.
+inline BlockAddr consecutive_addr(std::uint32_t D, std::uint32_t d,
+                                  std::uint64_t T0, std::uint64_t q) {
+  EMCGM_ASSERT(d < D);
+  return BlockAddr{static_cast<std::uint32_t>((d + q) % D),
+                   T0 + (d + q) / D};
+}
+
+}  // namespace emcgm::pdm

@@ -1,0 +1,50 @@
+// I/O accounting in PDM units: the cost measure of the model is the number
+// of parallel I/O operations, each moving up to D blocks (one per disk).
+#pragma once
+
+#include <cstdint>
+
+namespace emcgm::pdm {
+
+struct IoStats {
+  std::uint64_t read_ops = 0;        ///< parallel read operations
+  std::uint64_t write_ops = 0;       ///< parallel write operations
+  std::uint64_t blocks_read = 0;     ///< total blocks moved by reads
+  std::uint64_t blocks_written = 0;  ///< total blocks moved by writes
+  std::uint64_t full_stripe_ops = 0; ///< ops that used all D disks
+
+  std::uint64_t total_ops() const { return read_ops + write_ops; }
+  std::uint64_t total_blocks() const { return blocks_read + blocks_written; }
+
+  /// Fraction of ops that kept every disk busy; 1.0 = fully parallel I/O.
+  double parallel_efficiency(std::uint32_t num_disks) const {
+    const auto ops = total_ops();
+    if (ops == 0) return 1.0;
+    return static_cast<double>(total_blocks()) /
+           (static_cast<double>(ops) * num_disks);
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    read_ops += o.read_ops;
+    write_ops += o.write_ops;
+    blocks_read += o.blocks_read;
+    blocks_written += o.blocks_written;
+    full_stripe_ops += o.full_stripe_ops;
+    return *this;
+  }
+
+  IoStats& operator-=(const IoStats& o) {
+    read_ops -= o.read_ops;
+    write_ops -= o.write_ops;
+    blocks_read -= o.blocks_read;
+    blocks_written -= o.blocks_written;
+    full_stripe_ops -= o.full_stripe_ops;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+  friend IoStats operator-(IoStats a, const IoStats& b) { return a -= b; }
+  friend bool operator==(const IoStats&, const IoStats&) = default;
+};
+
+}  // namespace emcgm::pdm

@@ -1,0 +1,178 @@
+#include "routing/balanced_routing.h"
+
+#include <algorithm>
+
+#include "util/archive.h"
+#include "util/error.h"
+
+namespace emcgm::routing {
+
+namespace {
+
+struct FragHeader {
+  std::uint32_t orig_src;
+  std::uint32_t final_dst;
+  std::uint64_t total_len;
+  std::uint64_t frag_len;
+};
+
+constexpr std::size_t kHeaderBytes = sizeof(FragHeader);
+
+}  // namespace
+
+std::vector<std::vector<Fragment>> bin_phase_a(
+    std::uint32_t v, std::uint32_t src,
+    const std::vector<cgm::Message>& outbox) {
+  std::vector<std::vector<Fragment>> bins(v);
+  for (const auto& msg : outbox) {
+    EMCGM_CHECK(msg.src == src);
+    const std::uint64_t len = msg.payload.size();
+    if (len == 0) continue;
+    // Byte l goes to bin (src + dst + l) mod v. Bin k therefore receives
+    // bytes l0, l0+v, l0+2v, ... where l0 = (k - src - dst) mod v.
+    for (std::uint32_t k = 0; k < v; ++k) {
+      const std::uint64_t l0 =
+          (static_cast<std::uint64_t>(k) + 2ULL * v - (src % v) -
+           (msg.dst % v)) %
+          v;
+      if (l0 >= len) continue;
+      const std::uint64_t count = (len - l0 + v - 1) / v;
+      Fragment f;
+      f.orig_src = src;
+      f.final_dst = msg.dst;
+      f.total_len = len;
+      f.data.resize(count);
+      for (std::uint64_t t = 0; t < count; ++t) {
+        f.data[t] = msg.payload[l0 + t * v];
+      }
+      bins[k].push_back(std::move(f));
+    }
+  }
+  return bins;
+}
+
+cgm::Message pack_fragments(std::uint32_t src, std::uint32_t dst,
+                            const std::vector<Fragment>& frags) {
+  WriteArchive ar;
+  for (const auto& f : frags) {
+    FragHeader h{f.orig_src, f.final_dst, f.total_len, f.data.size()};
+    ar.put(h);
+    ar.write_raw(f.data.data(), f.data.size());
+  }
+  return cgm::Message{src, dst, ar.take()};
+}
+
+std::vector<Fragment> unpack_fragments(const cgm::Message& msg) {
+  std::vector<Fragment> out;
+  ReadArchive ar(msg.payload);
+  while (!ar.exhausted()) {
+    const auto h = ar.get<FragHeader>();
+    Fragment f;
+    f.orig_src = h.orig_src;
+    f.final_dst = h.final_dst;
+    f.total_len = h.total_len;
+    f.data.resize(static_cast<std::size_t>(h.frag_len));
+    ar.read_raw(f.data.data(), f.data.size());
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<cgm::Message> encode_phase_a(
+    std::uint32_t v, std::uint32_t src,
+    const std::vector<cgm::Message>& outbox) {
+  auto bins = bin_phase_a(v, src, outbox);
+  std::vector<cgm::Message> physical;
+  for (std::uint32_t k = 0; k < v; ++k) {
+    if (bins[k].empty()) continue;
+    physical.push_back(pack_fragments(src, k, bins[k]));
+  }
+  return physical;
+}
+
+std::vector<cgm::Message> transform_intermediate(
+    std::uint32_t v, std::uint32_t k, const std::vector<cgm::Message>& inbox) {
+  // Regroup every received fragment by its final destination (Step 3 of
+  // Algorithm 1), then emit one round-B message per destination (Step 4).
+  std::vector<std::vector<Fragment>> by_dst(v);
+  for (const auto& msg : inbox) {
+    for (auto& f : unpack_fragments(msg)) {
+      EMCGM_CHECK(f.final_dst < v);
+      by_dst[f.final_dst].push_back(std::move(f));
+    }
+  }
+  std::vector<cgm::Message> physical;
+  for (std::uint32_t j = 0; j < v; ++j) {
+    if (by_dst[j].empty()) continue;
+    // Deterministic order for reproducibility across engines.
+    std::sort(by_dst[j].begin(), by_dst[j].end(),
+              [](const Fragment& a, const Fragment& b) {
+                return a.orig_src < b.orig_src;
+              });
+    physical.push_back(pack_fragments(k, j, by_dst[j]));
+  }
+  return physical;
+}
+
+std::vector<cgm::Message> decode_phase_b(
+    std::uint32_t v, std::uint32_t dst,
+    const std::vector<cgm::Message>& inbox) {
+  // Collect fragments per original source; msg.src of a round-B physical
+  // message identifies the intermediate, which determines the byte stride
+  // positions.
+  struct Partial {
+    std::uint64_t total_len = 0;
+    std::uint64_t filled = 0;
+    std::vector<std::byte> data;
+  };
+  std::vector<Partial> partials(v);
+
+  for (const auto& msg : inbox) {
+    const std::uint32_t k = msg.src;  // intermediate processor
+    for (const auto& f : unpack_fragments(msg)) {
+      EMCGM_CHECK(f.final_dst == dst);
+      auto& p = partials[f.orig_src];
+      if (p.data.empty()) {
+        p.total_len = f.total_len;
+        p.data.resize(static_cast<std::size_t>(f.total_len));
+      }
+      EMCGM_CHECK(p.total_len == f.total_len);
+      const std::uint64_t l0 =
+          (static_cast<std::uint64_t>(k) + 2ULL * v - (f.orig_src % v) -
+           (dst % v)) %
+          v;
+      for (std::uint64_t t = 0; t < f.data.size(); ++t) {
+        const std::uint64_t pos = l0 + t * v;
+        EMCGM_CHECK(pos < p.total_len);
+        p.data[pos] = f.data[t];
+      }
+      p.filled += f.data.size();
+    }
+  }
+
+  std::vector<cgm::Message> out;
+  for (std::uint32_t i = 0; i < v; ++i) {
+    auto& p = partials[i];
+    if (p.data.empty()) continue;
+    EMCGM_CHECK_MSG(p.filled == p.total_len,
+                    "reassembly of message " << i << " -> " << dst
+                                             << " incomplete: " << p.filled
+                                             << " of " << p.total_len);
+    out.push_back(cgm::Message{i, dst, std::move(p.data)});
+  }
+  return out;
+}
+
+std::uint64_t data_bytes(const cgm::Message& physical) {
+  std::uint64_t data = 0;
+  ReadArchive ar(physical.payload);
+  while (!ar.exhausted()) {
+    const auto h = ar.get<FragHeader>();
+    data += h.frag_len;
+    std::vector<std::byte> skip(static_cast<std::size_t>(h.frag_len));
+    ar.read_raw(skip.data(), skip.size());
+  }
+  return data;
+}
+
+}  // namespace emcgm::routing

@@ -1,0 +1,70 @@
+// Algorithm 1 (BalancedRouting, after Bader et al. [10] as used in the
+// paper): an arbitrary h-relation is replaced by two rounds of balanced
+// communication. Byte l of the message src -> dst is assigned to bin
+// (src + dst + l) mod v; bin k travels src -> k in round A, is regrouped by
+// final destination at k, and travels k -> dst in round B. Theorem 1: every
+// round-A and round-B message carries total-bytes/v +- O(v) payload.
+//
+// The three functions below are pure per-processor transformations, so both
+// engines share them: the native engine applies them centrally, the EM
+// engine runs transform_intermediate as the compute phase of an extra
+// physical superstep (Lemma 2 doubles the superstep count).
+//
+// Wire format of a physical payload (both phases): a sequence of fragment
+// records {u32 orig_src, u32 final_dst, u64 total_len, u64 frag_len,
+// frag_len bytes}. Headers are bookkeeping overhead of O(v) per processor
+// pair and are excluded from the balance analysis (data_bytes below).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cgm/message.h"
+
+namespace emcgm::routing {
+
+/// A piece of an application message in transit.
+struct Fragment {
+  std::uint32_t orig_src = 0;
+  std::uint32_t final_dst = 0;
+  std::uint64_t total_len = 0;  ///< length of the whole application message
+  std::vector<std::byte> data;
+};
+
+/// Round-A binning at source processor `src`: splits the application outbox
+/// into v bins; result[k] holds the fragments bound for intermediate k.
+/// Bins for k == src stay local but are still produced (the engines
+/// short-circuit self-sends uniformly).
+std::vector<std::vector<Fragment>> bin_phase_a(
+    std::uint32_t v, std::uint32_t src,
+    const std::vector<cgm::Message>& outbox);
+
+/// Serialize one bin into a physical message payload.
+cgm::Message pack_fragments(std::uint32_t src, std::uint32_t dst,
+                            const std::vector<Fragment>& frags);
+
+/// Parse a physical payload back into fragments.
+std::vector<Fragment> unpack_fragments(const cgm::Message& msg);
+
+/// Phase A at `src`: outbox -> physical round-A messages (one per
+/// intermediate with non-empty bin).
+std::vector<cgm::Message> encode_phase_a(std::uint32_t v, std::uint32_t src,
+                                         const std::vector<cgm::Message>& outbox);
+
+/// At intermediate k: regroup the fragments received in round A by final
+/// destination and emit the physical round-B messages.
+std::vector<cgm::Message> transform_intermediate(
+    std::uint32_t v, std::uint32_t k, const std::vector<cgm::Message>& inbox);
+
+/// At final destination `dst`: reassemble the original application messages
+/// from the round-B fragment streams. The byte-level round-robin assignment
+/// is deterministic, so each fragment's bytes scatter back to positions
+/// l0, l0+v, l0+2v, ... of the original message.
+std::vector<cgm::Message> decode_phase_b(std::uint32_t v, std::uint32_t dst,
+                                         const std::vector<cgm::Message>& inbox);
+
+/// Payload bytes net of fragment headers in a physical message (what the
+/// Theorem 1 bounds govern).
+std::uint64_t data_bytes(const cgm::Message& physical);
+
+}  // namespace emcgm::routing

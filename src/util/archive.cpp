@@ -1,0 +1,5 @@
+#include "util/archive.h"
+
+// Header-only in practice; this translation unit anchors the component in the
+// build and provides a home for any future non-inline helpers.
+namespace emcgm {}

@@ -1,0 +1,51 @@
+// Error handling for the emcgm library.
+//
+// The library reports contract violations (bad parameters, malformed layouts,
+// illegal parallel I/O batches) by throwing emcgm::Error. Internal invariants
+// use EMCGM_ASSERT which is compiled in all build types: a disk simulator that
+// silently mis-counts I/O is worse than one that aborts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace emcgm {
+
+/// Exception thrown on contract violations and invalid model configurations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace emcgm
+
+/// Precondition / invariant check, active in every build type.
+#define EMCGM_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::emcgm::detail::raise(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check with a streamed diagnostic message.
+#define EMCGM_CHECK_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      std::ostringstream os_;                                      \
+      os_ << msg;                                                  \
+      ::emcgm::detail::raise(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                              \
+  } while (0)
+
+/// Internal invariant; same behaviour, distinct name to flag intent.
+#define EMCGM_ASSERT(expr) EMCGM_CHECK(expr)

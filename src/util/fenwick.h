@@ -1,0 +1,38 @@
+// Fenwick (binary indexed) tree over u64 sums; used by the local phases of
+// the dominance-counting and rectangle-union algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace emcgm {
+
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  /// Add delta at position i (0-based).
+  void add(std::size_t i, std::uint64_t delta) {
+    EMCGM_ASSERT(i + 1 < tree_.size());
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] += delta;
+    }
+  }
+
+  /// Sum of positions [0, i) (0-based, exclusive end).
+  std::uint64_t prefix(std::size_t i) const {
+    std::uint64_t s = 0;
+    if (i > tree_.size() - 1) i = tree_.size() - 1;
+    for (std::size_t k = i; k > 0; k -= k & (~k + 1)) s += tree_[k];
+    return s;
+  }
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+}  // namespace emcgm

@@ -1,0 +1,56 @@
+// Small integer math helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace emcgm {
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Largest power of two <= x (x > 0).
+constexpr std::uint64_t floor_pow2(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Split n items over k owners as evenly as possible: owner i gets
+/// chunk_size(n, k, i) items, the first (n % k) owners getting one extra.
+constexpr std::uint64_t chunk_size(std::uint64_t n, std::uint64_t k,
+                                   std::uint64_t i) {
+  return n / k + (i < n % k ? 1 : 0);
+}
+
+/// First global index owned by owner i under chunk_size partitioning.
+constexpr std::uint64_t chunk_begin(std::uint64_t n, std::uint64_t k,
+                                    std::uint64_t i) {
+  const std::uint64_t q = n / k, r = n % k;
+  return i * q + (i < r ? i : r);
+}
+
+/// Owner of global index x under chunk_size partitioning.
+constexpr std::uint64_t chunk_owner(std::uint64_t n, std::uint64_t k,
+                                    std::uint64_t x) {
+  const std::uint64_t q = n / k, r = n % k;
+  // First r owners hold q+1 items each.
+  const std::uint64_t big = r * (q + 1);
+  if (x < big) return x / (q + 1);
+  return q == 0 ? k - 1 : r + (x - big) / q;
+}
+
+}  // namespace emcgm

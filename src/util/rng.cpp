@@ -1,0 +1,24 @@
+#include "util/rng.h"
+
+namespace emcgm {
+
+std::vector<std::uint64_t> random_keys(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+std::vector<std::uint64_t> random_permutation(std::uint64_t seed,
+                                              std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace emcgm

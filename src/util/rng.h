@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generation for workloads and randomized
+// algorithm steps (ruling sets). Benchmarks and tests must be reproducible
+// run-to-run, so everything seeds explicitly; there is no global RNG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emcgm {
+
+/// splitmix64: small, fast, well-mixed 64-bit generator. Used both directly
+/// and to seed per-virtual-processor streams (seed + pid) so that results do
+/// not depend on the order in which virtual processors are simulated.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) without modulo bias for bound << 2^64.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift reduction.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next() & 1u) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// n uniform 64-bit keys.
+std::vector<std::uint64_t> random_keys(std::uint64_t seed, std::size_t n);
+
+/// A uniformly random permutation of 0..n-1 (Fisher–Yates).
+std::vector<std::uint64_t> random_permutation(std::uint64_t seed,
+                                              std::size_t n);
+
+/// Stateless hash usable as a per-item coin; identical across processors.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace emcgm

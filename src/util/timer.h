@@ -1,0 +1,24 @@
+// Wall-clock timing for benchmarks and the Fig. 3 runtime comparisons.
+#pragma once
+
+#include <chrono>
+
+namespace emcgm {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace emcgm

@@ -1,0 +1,126 @@
+// Classical PDM baselines: correctness plus the I/O-shape properties the
+// Fig. 5 comparison depends on (the merge-pass logarithm appears and grows
+// when memory shrinks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/em_mergesort.h"
+#include "baseline/em_permute.h"
+#include "baseline/em_transpose.h"
+#include "pdm/backend.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+
+namespace {
+
+pdm::DiskArray make_disks(std::uint32_t D = 4, std::size_t B = 512) {
+  return pdm::DiskArray(std::make_unique<pdm::MemoryBackend>(
+      pdm::DiskGeometry{D, B}));
+}
+
+}  // namespace
+
+TEST(EmMergesort, SortsCorrectly) {
+  auto disks = make_disks();
+  auto keys = random_keys(1, 20000);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  baseline::SortStats stats;
+  auto got = baseline::em_mergesort(disks, keys, 16 * 1024, &stats);
+  EXPECT_EQ(got, expect);
+  EXPECT_GE(stats.merge_passes, 1u);
+  EXPECT_GT(stats.io.total_ops(), 0u);
+}
+
+TEST(EmMergesort, SingleChunkNoMergePass) {
+  auto disks = make_disks();
+  auto keys = random_keys(2, 500);
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  baseline::SortStats stats;
+  auto got = baseline::em_mergesort(disks, keys, 1 << 20, &stats);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(stats.merge_passes, 0u);
+}
+
+TEST(EmMergesort, PassCountGrowsAsMemoryShrinks) {
+  auto keys = random_keys(3, 60000);
+  std::uint64_t prev_passes = 0;
+  std::uint64_t prev_ops = 0;
+  for (std::size_t mem : {1u << 20, 1u << 16, 1u << 14}) {
+    auto disks = make_disks();
+    baseline::SortStats stats;
+    auto got = baseline::em_mergesort(disks, keys, mem, &stats);
+    ASSERT_EQ(got.size(), keys.size());
+    EXPECT_GE(stats.merge_passes, prev_passes);
+    if (prev_ops > 0) {
+      EXPECT_GT(stats.io.total_ops(), prev_ops);
+    }
+    prev_passes = stats.merge_passes;
+    prev_ops = stats.io.total_ops();
+  }
+  // The log factor materialized: the smallest memory needs multiple passes.
+  EXPECT_GE(prev_passes, 2u);
+}
+
+TEST(EmMergesort, FullyParallelIo) {
+  auto disks = make_disks(8, 256);
+  auto keys = random_keys(4, 40000);
+  baseline::SortStats stats;
+  baseline::em_mergesort(disks, keys, 1 << 16, &stats);
+  // Striped runs keep nearly every op at D blocks.
+  EXPECT_GT(stats.io.parallel_efficiency(8), 0.85);
+}
+
+TEST(EmPermute, NaiveMatchesExpected) {
+  auto disks = make_disks();
+  const std::size_t n = 5000;
+  auto values = random_keys(5, n);
+  auto perm = random_permutation(6, n);
+  auto got = baseline::naive_permute(disks, values, perm, 1 << 16);
+  std::vector<std::uint64_t> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[perm[i]] = values[i];
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EmPermute, SortBasedMatchesExpected) {
+  auto disks = make_disks();
+  const std::size_t n = 5000;
+  auto values = random_keys(7, n);
+  auto perm = random_permutation(8, n);
+  auto got = baseline::sort_permute(disks, values, perm, 1 << 16);
+  std::vector<std::uint64_t> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[perm[i]] = values[i];
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EmPermute, NaiveCostsNearNOverD) {
+  // The naive branch's op count scales like N/D, far above N/(DB).
+  const std::size_t n = 20000;
+  auto values = random_keys(9, n);
+  auto perm = random_permutation(10, n);
+  auto disks = make_disks(4, 512);
+  const std::size_t per_block = 512 / sizeof(std::uint64_t);
+  baseline::naive_permute(disks, values, perm, 1 << 15);
+  const double ops = static_cast<double>(disks.stats().total_ops());
+  EXPECT_GT(ops, static_cast<double>(n) / 4 / per_block * 4)
+      << "naive permutation should cost much more than a streaming pass";
+}
+
+TEST(EmTranspose, BothVariantsMatch) {
+  const std::uint64_t rows = 96, cols = 53;
+  std::vector<std::uint64_t> mat(rows * cols);
+  for (std::size_t i = 0; i < mat.size(); ++i) mat[i] = i * 7 + 1;
+  std::vector<std::uint64_t> expect(rows * cols);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      expect[c * rows + r] = mat[r * cols + c];
+    }
+  }
+  auto d1 = make_disks();
+  EXPECT_EQ(baseline::naive_transpose(d1, mat, rows, cols, 1 << 15), expect);
+  auto d2 = make_disks();
+  EXPECT_EQ(baseline::sort_transpose(d2, mat, rows, cols, 1 << 15), expect);
+}

@@ -1,0 +1,577 @@
+// Newer library surface: 2D convex hull, biconnected components, weighted
+// list ranking, and the §5 BSP/BSP* cost layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/sort.h"
+#include "cgm/bsp_cost.h"
+#include "cgm/machine.h"
+#include "geom/convex_hull.h"
+#include "geom/next_element.h"
+#include "geom/separability.h"
+#include "graph/biconnectivity.h"
+#include "graph/ear_decomposition.h"
+#include "graph/list_ranking.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+
+namespace {
+
+struct ExtParam {
+  cgm::EngineKind kind;
+  std::uint32_t v;
+  std::uint32_t p;
+
+  cgm::MachineConfig cfg() const {
+    cgm::MachineConfig c;
+    c.v = v;
+    c.p = p;
+    c.disk.num_disks = 2;
+    c.disk.block_bytes = 256;
+    return c;
+  }
+};
+
+class ExtSuite : public ::testing::TestWithParam<ExtParam> {
+ protected:
+  cgm::Machine machine() const {
+    return cgm::Machine(GetParam().kind, GetParam().cfg());
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ convex hull --
+
+TEST_P(ExtSuite, ConvexHullRandom) {
+  auto m = machine();
+  auto pts = geom::random_points2(31, 2000);
+  auto got = geom::convex_hull(m, pts);
+  auto want = geom::convex_hull_seq(pts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "hull vertex " << i;
+  }
+}
+
+TEST_P(ExtSuite, ConvexHullDegenerate) {
+  auto m = machine();
+  // Collinear points.
+  std::vector<geom::Point2> line;
+  for (std::size_t i = 0; i < 100; ++i) {
+    line.push_back(geom::Point2{static_cast<double>(i), 2.0 * i, i});
+  }
+  auto hl = geom::convex_hull(m, line);
+  EXPECT_EQ(hl.size(), 2u);
+  // Square with interior grid.
+  std::vector<geom::Point2> sq;
+  std::uint64_t id = 0;
+  for (int x = 0; x <= 10; ++x) {
+    for (int y = 0; y <= 10; ++y) {
+      sq.push_back(geom::Point2{static_cast<double>(x),
+                                static_cast<double>(y), id++});
+    }
+  }
+  auto hs = geom::convex_hull(m, sq);
+  EXPECT_EQ(hs.size(), 4u);  // strictly convex corners only
+  // Duplicates + singleton.
+  std::vector<geom::Point2> dup(50, geom::Point2{1.0, 1.0, 7});
+  EXPECT_EQ(geom::convex_hull(m, dup).size(), 1u);
+}
+
+TEST_P(ExtSuite, ConvexHullCircle) {
+  auto m = machine();
+  std::vector<geom::Point2> circle;
+  const std::size_t n = 360;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 2 * 3.14159265358979 * i / n;
+    circle.push_back(geom::Point2{std::cos(a), std::sin(a), i});
+  }
+  auto got = geom::convex_hull(m, circle);
+  auto want = geom::convex_hull_seq(circle);
+  EXPECT_EQ(got.size(), want.size());  // everything on the hull
+}
+
+// ------------------------------------------------- next-element / location --
+
+TEST_P(ExtSuite, SegmentBelowPoints) {
+  auto m = machine();
+  auto segs = geom::random_noncrossing_segments(61, 500);
+  auto pts = geom::random_points2(62, 400);
+  auto got = geom::segment_below_points(m, segs, pts);
+  auto want = geom::segment_below_points_brute(segs, pts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].segment_id, want[i].segment_id)
+        << "query " << got[i].query_id;
+  }
+}
+
+TEST_P(ExtSuite, NextElementBelowEndpoints) {
+  auto m = machine();
+  auto segs = geom::random_noncrossing_segments(63, 600);
+  auto got = geom::next_element_below(m, segs);
+  std::vector<geom::Point2> lefts;
+  for (const auto& s : segs) lefts.push_back(geom::Point2{s.x1, s.y1, s.id});
+  auto want = geom::segment_below_points_brute(segs, lefts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].segment_id, want[i].segment_id)
+        << "segment " << got[i].query_id;
+  }
+}
+
+TEST_P(ExtSuite, SegmentBelowEdgeCases) {
+  auto m = machine();
+  // Stacked horizontal segments; queries between, below, above, and at
+  // endpoint x-coordinates.
+  std::vector<geom::Segment> segs{
+      {0.0, 1.0, 10.0, 1.0, 0},
+      {2.0, 2.0, 8.0, 2.0, 1},
+      {4.0, 3.0, 6.0, 3.0, 2},
+  };
+  std::vector<geom::Point2> pts{
+      {5.0, 2.5, 0},   // between seg 1 and 2
+      {5.0, 10.0, 1},  // above everything
+      {5.0, 0.5, 2},   // below everything
+      {1.0, 5.0, 3},   // only seg 0 underneath
+      {11.0, 5.0, 4},  // past all segments
+      {10.0, 5.0, 5},  // exactly at seg 0's right endpoint (closed)
+      {2.0, 5.0, 6},   // exactly at seg 1's left endpoint
+  };
+  auto got = geom::segment_below_points(m, segs, pts);
+  auto want = geom::segment_below_points_brute(segs, pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got[i].segment_id, want[i].segment_id) << "query " << i;
+  }
+  EXPECT_EQ(got[0].segment_id, 1u);
+  EXPECT_EQ(got[1].segment_id, 2u);
+  EXPECT_EQ(got[2].segment_id, geom::kNoSegment);
+  EXPECT_EQ(got[4].segment_id, geom::kNoSegment);
+  EXPECT_EQ(got[5].segment_id, 0u);
+}
+
+// ----------------------------------------------------------- biconnected --
+
+namespace {
+
+void expect_same_partition(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b) {
+  EXPECT_EQ(graph::canonical_partition(a), graph::canonical_partition(b));
+}
+
+}  // namespace
+
+TEST_P(ExtSuite, BccSmallShapes) {
+  auto m = machine();
+  // Triangle with a pendant edge: {0-1,1-2,2-0} one BCC, {2-3} another.
+  std::vector<graph::Edge> g1{{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  expect_same_partition(graph::biconnected_components(m, g1, 4),
+                        graph::biconnected_components_seq(g1, 4));
+  auto labels = graph::biconnected_components(m, g1, 4);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[2], labels[3]);
+
+  // Path: every edge its own component.
+  std::vector<graph::Edge> path;
+  for (std::uint64_t i = 1; i < 20; ++i) path.push_back({i - 1, i});
+  auto pl = graph::biconnected_components(m, path, 20);
+  std::set<std::uint64_t> distinct(pl.begin(), pl.end());
+  EXPECT_EQ(distinct.size(), path.size());
+
+  // Cycle: one component.
+  std::vector<graph::Edge> cyc;
+  for (std::uint64_t i = 1; i < 20; ++i) cyc.push_back({i - 1, i});
+  cyc.push_back({19, 0});
+  auto cl = graph::biconnected_components(m, cyc, 20);
+  for (auto l : cl) EXPECT_EQ(l, cl[0]);
+}
+
+TEST_P(ExtSuite, BccTwoCliquesSharedVertex) {
+  auto m = machine();
+  // Two K4s sharing vertex 0: exactly two BCCs.
+  std::vector<graph::Edge> g;
+  const std::uint64_t a[4] = {0, 1, 2, 3}, b[4] = {0, 4, 5, 6};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      g.push_back({a[i], a[j]});
+      g.push_back({b[i], b[j]});
+    }
+  }
+  auto got = graph::biconnected_components(m, g, 7);
+  expect_same_partition(got, graph::biconnected_components_seq(g, 7));
+  std::set<std::uint64_t> distinct(got.begin(), got.end());
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST_P(ExtSuite, BccRandomConnected) {
+  auto m = machine();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::uint64_t n = 120;
+    // Connected: random tree plus extra random edges.
+    auto edges = graph::random_tree(seed, n);
+    auto extra = graph::gnm_graph(seed + 100, n, 60);
+    edges.insert(edges.end(), extra.begin(), extra.end());
+    auto got = graph::biconnected_components(m, edges, n);
+    auto want = graph::biconnected_components_seq(edges, n);
+    expect_same_partition(got, want);
+  }
+}
+
+TEST_P(ExtSuite, BccParallelEdges) {
+  auto m = machine();
+  // 0-1 doubled, then 1-2 single: the doubled pair is one BCC.
+  std::vector<graph::Edge> g{{0, 1}, {0, 1}, {1, 2}};
+  auto got = graph::biconnected_components(m, g, 3);
+  EXPECT_EQ(got[0], got[1]);
+  EXPECT_NE(got[1], got[2]);
+}
+
+TEST_P(ExtSuite, BccRejectsDisconnected) {
+  auto m = machine();
+  std::vector<graph::Edge> g{{0, 1}, {2, 3}};
+  EXPECT_THROW(graph::biconnected_components(m, g, 4), Error);
+}
+
+TEST_P(ExtSuite, TrapezoidalNeighbors) {
+  auto m = machine();
+  auto segs = geom::random_noncrossing_segments(64, 300);
+  auto got = geom::trapezoidal_neighbors(m, segs);
+  ASSERT_EQ(got.size(), segs.size());
+
+  auto sorted = segs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const geom::Segment& a, const geom::Segment& b) {
+              return a.id < b.id;
+            });
+  // Brute "below": directly. Brute "above": mirrored scene.
+  std::vector<geom::Point2> lefts, rights;
+  for (const auto& s : sorted) {
+    lefts.push_back(geom::Point2{s.x1, s.y1, s.id});
+    rights.push_back(geom::Point2{s.x2, s.y2, s.id});
+  }
+  auto bl = geom::segment_below_points_brute(segs, lefts);
+  auto br = geom::segment_below_points_brute(segs, rights);
+  std::vector<geom::Segment> mir(segs);
+  for (auto& s : mir) {
+    s.y1 = -s.y1;
+    s.y2 = -s.y2;
+  }
+  auto mlefts = lefts;
+  for (auto& q : mlefts) q.y = -q.y;
+  auto mrights = rights;
+  for (auto& q : mrights) q.y = -q.y;
+  auto al = geom::segment_below_points_brute(mir, mlefts);
+  auto ar = geom::segment_below_points_brute(mir, mrights);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].below_left, bl[i].segment_id) << "seg " << i;
+    EXPECT_EQ(got[i].below_right, br[i].segment_id) << "seg " << i;
+    EXPECT_EQ(got[i].above_left, al[i].segment_id) << "seg " << i;
+    EXPECT_EQ(got[i].above_right, ar[i].segment_id) << "seg " << i;
+  }
+}
+
+// ------------------------------------------------------- separability --
+
+TEST_P(ExtSuite, SeparabilityKnownScenes) {
+  auto m = machine();
+  // Two unit squares side by side with a gap.
+  auto square = [](double ox, double oy, std::uint64_t base) {
+    return std::vector<geom::Point2>{{ox, oy, base},
+                                     {ox + 1, oy, base + 1},
+                                     {ox + 1, oy + 1, base + 2},
+                                     {ox, oy + 1, base + 3}};
+  };
+  auto A = square(0, 0, 0);
+  auto B = square(3, 0, 10);
+  // A escapes to the left (away from B), not to the right.
+  EXPECT_TRUE(geom::separable_in_direction(m, A, B, -1, 0));
+  EXPECT_FALSE(geom::separable_in_direction(m, A, B, 1, 0));
+  // Straight up/down: A slides past B.
+  EXPECT_TRUE(geom::separable_in_direction(m, A, B, 0, 1));
+  EXPECT_TRUE(geom::separable_in_direction(m, A, B, 0, -1));
+  // Overlapping squares: never separable.
+  auto C = square(0.5, 0.5, 20);
+  auto s = geom::separating_directions(m, A, C);
+  EXPECT_TRUE(s.never);
+  // Diagonal offset: blocked cone points toward B.
+  auto D = square(3, 3, 30);
+  EXPECT_FALSE(geom::separable_in_direction(m, A, D, 1, 1));
+  EXPECT_TRUE(geom::separable_in_direction(m, A, D, -1, -1));
+  EXPECT_TRUE(geom::separable_in_direction(m, A, D, 1, -1));
+}
+
+TEST_P(ExtSuite, SeparabilityMatchesBruteOnRandomScenes) {
+  auto m = machine();
+  Rng rng(55);
+  for (int scene = 0; scene < 6; ++scene) {
+    // Two random clusters with random offsets (some overlap, some not).
+    std::vector<geom::Point2> A, B;
+    const double off = scene * 0.6;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      A.push_back(geom::Point2{rng.next_double(), rng.next_double(), i});
+      B.push_back(geom::Point2{rng.next_double() + off,
+                               rng.next_double() * 0.5 + 0.2, 100 + i});
+    }
+    for (int k = 0; k < 16; ++k) {
+      const double theta = k * 2 * 3.14159265358979 / 16 + 0.01;
+      const double dx = std::cos(theta), dy = std::sin(theta);
+      EXPECT_EQ(geom::separable_in_direction(m, A, B, dx, dy),
+                geom::separable_in_direction_brute(A, B, dx, dy))
+          << "scene " << scene << " k " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------- ear decomposition --
+
+namespace {
+
+/// A random biconnected graph: a Hamiltonian cycle plus chords.
+std::vector<graph::Edge> random_biconnected(std::uint64_t seed,
+                                            std::uint64_t n,
+                                            std::size_t chords) {
+  std::vector<graph::Edge> g;
+  for (std::uint64_t i = 1; i < n; ++i) g.push_back({i - 1, i});
+  g.push_back({n - 1, 0});
+  Rng rng(seed);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  while (seen.size() < chords) {
+    std::uint64_t a = rng.next_below(n), b = rng.next_below(n);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (b == a + 1 || (a == 0 && b == n - 1)) continue;  // cycle edges
+    if (seen.insert({a, b}).second) g.push_back({a, b});
+  }
+  return g;
+}
+
+}  // namespace
+
+TEST_P(ExtSuite, EarDecompositionCycle) {
+  auto m = machine();
+  std::vector<graph::Edge> cyc;
+  for (std::uint64_t i = 1; i < 12; ++i) cyc.push_back({i - 1, i});
+  cyc.push_back({11, 0});
+  auto ears = graph::ear_decomposition(m, cyc, 12);
+  EXPECT_EQ(graph::validate_ear_decomposition(cyc, 12, ears), "");
+  std::set<std::uint64_t> distinct(ears.begin(), ears.end());
+  EXPECT_EQ(distinct.size(), 1u);  // one ear: the cycle itself
+}
+
+TEST_P(ExtSuite, EarDecompositionTheta) {
+  auto m = machine();
+  // Theta graph: cycle 0..5 plus a chord path through 6.
+  std::vector<graph::Edge> g{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                             {5, 0}, {1, 6}, {6, 4}};
+  auto ears = graph::ear_decomposition(m, g, 7);
+  EXPECT_EQ(graph::validate_ear_decomposition(g, 7, ears), "");
+  std::set<std::uint64_t> distinct(ears.begin(), ears.end());
+  EXPECT_EQ(distinct.size(), 2u);  // m - n + 1 = 8 - 7 + 1
+}
+
+TEST_P(ExtSuite, EarDecompositionRandomBiconnected) {
+  auto m = machine();
+  for (std::uint64_t seed : {5u, 6u}) {
+    const std::uint64_t n = 60;
+    auto g = random_biconnected(seed, n, 25);
+    auto ears = graph::ear_decomposition(m, g, n);
+    EXPECT_EQ(graph::validate_ear_decomposition(g, n, ears), "")
+        << "seed " << seed;
+    std::set<std::uint64_t> distinct(ears.begin(), ears.end());
+    EXPECT_EQ(distinct.size(), g.size() - n + 1);
+  }
+}
+
+TEST_P(ExtSuite, EarDecompositionCutVertexGivesClosedEar) {
+  auto m = machine();
+  // Two triangles joined at a cut vertex: 2-edge-connected but not
+  // biconnected — the second triangle becomes a closed ear anchored at
+  // the cut vertex.
+  std::vector<graph::Edge> g{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  auto ears = graph::ear_decomposition(m, g, 5);
+  EXPECT_EQ(graph::validate_ear_decomposition(g, 5, ears), "");
+  std::set<std::uint64_t> distinct(ears.begin(), ears.end());
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST_P(ExtSuite, EarDecompositionRejectsBridges) {
+  auto m = machine();
+  std::vector<graph::Edge> b{{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  EXPECT_THROW(graph::ear_decomposition(m, b, 4), Error);
+  // A pure tree: everything is a bridge.
+  auto tree = graph::random_tree(9, 10);
+  EXPECT_THROW(graph::ear_decomposition(m, tree, 10), Error);
+}
+
+// ------------------------------------------------- weighted list ranking --
+
+TEST_P(ExtSuite, WeightedListRanking) {
+  auto m = machine();
+  const std::size_t n = 1500;
+  auto nodes = graph::random_list(41, n);
+  std::sort(nodes.begin(), nodes.end(),
+            [](const graph::ListNode& a, const graph::ListNode& b) {
+              return a.id < b.id;
+            });
+  Rng rng(42);
+  std::vector<std::uint64_t> weights(n);
+  for (auto& w : weights) w = rng.next_below(100);
+
+  auto got = m.gather(graph::list_ranking_weighted(
+      m, m.scatter<graph::ListNode>(nodes),
+      m.scatter<std::uint64_t>(weights), n));
+
+  // Sequential reference with weights.
+  std::vector<std::uint64_t> succ(n), pred(n, graph::kNil);
+  for (const auto& nd : nodes) succ[nd.id] = nd.next;
+  for (const auto& nd : nodes) {
+    if (nd.next != graph::kNil) pred[nd.next] = nd.id;
+  }
+  std::vector<std::uint64_t> want(n, 0);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (succ[x] != graph::kNil) continue;  // tail
+    std::uint64_t cur = x, r = 0;
+    for (;;) {
+      want[cur] = r;
+      if (pred[cur] == graph::kNil) break;
+      r += weights[pred[cur]];
+      cur = pred[cur];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i].rank, want[i]) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ExtSuite,
+    ::testing::Values(ExtParam{cgm::EngineKind::kNative, 4, 1},
+                      ExtParam{cgm::EngineKind::kEm, 4, 1},
+                      ExtParam{cgm::EngineKind::kEm, 6, 2}),
+    [](const ::testing::TestParamInfo<ExtParam>& info) {
+      const auto& p = info.param;
+      std::string s = p.kind == cgm::EngineKind::kNative ? "native" : "em";
+      return s + "_v" + std::to_string(p.v) + "_p" + std::to_string(p.p);
+    });
+
+// --------------------------------------------------------- BSP cost layer --
+
+TEST(BspCost, CommTimeAndLatencyFloor) {
+  cgm::RunResult run;
+  cgm::StepComm s1;
+  s1.messages = 2;
+  s1.bytes = 300;
+  s1.max_sent = 200;
+  s1.max_recv = 150;
+  s1.min_msg_bytes = 100;
+  s1.max_msg_bytes = 200;
+  cgm::StepComm s2;  // tiny superstep: latency-bound
+  s2.messages = 1;
+  s2.bytes = 3;
+  s2.max_sent = 3;
+  s2.max_recv = 3;
+  s2.min_msg_bytes = 3;
+  s2.max_msg_bytes = 3;
+  run.comm.steps = {s1, s2};
+  run.comm_steps = 2;
+  run.io.read_ops = 5;
+
+  cgm::BspParams params;
+  params.g = 2.0;
+  params.L = 50.0;
+  params.G = 10.0;
+  const auto cost = cgm::evaluate_bsp_cost(run, params);
+  EXPECT_DOUBLE_EQ(cost.t_comm, 2.0 * 200 + 50.0);  // h=200 then L floor
+  EXPECT_DOUBLE_EQ(cost.t_io, 50.0);
+  EXPECT_DOUBLE_EQ(cost.t_sync, 100.0);
+}
+
+TEST(BspCost, BspStarPenalizesShortMessages) {
+  cgm::RunResult run;
+  cgm::StepComm s;
+  s.messages = 4;
+  s.bytes = 40;
+  s.max_sent = 40;
+  s.max_recv = 40;
+  s.min_msg_bytes = 10;
+  s.max_msg_bytes = 10;
+  run.comm.steps = {s};
+  cgm::BspParams params;
+  params.g = 1.0;
+  params.L = 0.001;
+  params.bsp_star_b = 20;  // messages of 10 bytes pay 2x
+  const auto cost = cgm::evaluate_bsp_cost(run, params);
+  EXPECT_DOUBLE_EQ(cost.t_comm, 40.0);
+  EXPECT_DOUBLE_EQ(cost.t_comm_star, 80.0);
+}
+
+TEST(BspCost, ConversionFormulas) {
+  // Corollary 1 / Lemma 1 arithmetic.
+  EXPECT_EQ(cgm::bsp_star_block_size(1000, 10), 1000 / 10 - 4);
+  EXPECT_EQ(cgm::bsp_star_block_size(5, 10), 0u);
+  EXPECT_EQ(cgm::lemma1_min_problem_bytes(100, 10), 100u * 100 + 100 * 9 / 2);
+}
+
+TEST(BspCost, BalancedRunsAreBspStarCompliant) {
+  // The paper's §5 conversion, measured: run the sort with and without
+  // balancing and check compliance against the Corollary 1 block size.
+  const std::size_t n = 1u << 14;
+  auto keys = random_keys(5, n);
+
+  cgm::MachineConfig cfg;
+  cfg.v = 8;
+  cfg.balanced_routing = true;
+  cgm::Machine balanced(cgm::EngineKind::kNative, cfg);
+  algo::sort_keys(balanced, keys);
+
+  cfg.balanced_routing = false;
+  cgm::Machine raw(cgm::EngineKind::kNative, cfg);
+  algo::sort_keys(raw, keys);
+
+  // The interesting superstep volume: the bucket exchange moves ~2N bytes
+  // of 16-byte records; h_min per processor ~ that / v.
+  const std::uint64_t h_min = 2 * n * 8 / 8;
+  const std::uint64_t b = cgm::bsp_star_block_size(h_min, 8) / 4;
+  EXPECT_GT(b, 0u);
+  EXPECT_GT(cgm::bsp_star_compliance(balanced.total().comm, b),
+            cgm::bsp_star_compliance(raw.total().comm, b));
+  // Conformance: every superstep's h is bounded by a small multiple of
+  // the theoretical 2N/v bytes of tagged records plus broadcast slack.
+  std::uint64_t observed = 0;
+  EXPECT_TRUE(cgm::conforming(balanced.total().comm,
+                              8 * (2 * n * 16 / 8) + (1u << 16), &observed));
+  EXPECT_GT(observed, 0u);
+}
+
+TEST(BspCost, BalancedRunsMeetCorollary1PerRound) {
+  auto keys = random_keys(8, 1u << 16);
+  cgm::MachineConfig cfg;
+  cfg.v = 16;
+  cfg.balanced_routing = true;
+  cgm::Machine balanced(cgm::EngineKind::kNative, cfg);
+  algo::sort_keys(balanced, keys);
+  EXPECT_DOUBLE_EQ(cgm::corollary1_compliance(balanced.total().comm, 16),
+                   1.0);
+
+  cfg.balanced_routing = false;
+  cgm::Machine raw(cgm::EngineKind::kNative, cfg);
+  algo::sort_keys(raw, keys);
+  EXPECT_LT(cgm::corollary1_compliance(raw.total().comm, 16), 1.0);
+}
+
+TEST(BspCost, OptimalityRatios) {
+  cgm::RunResult run;
+  run.io.read_ops = 100;
+  cgm::BspParams params;
+  params.G = 2.0;
+  auto r = cgm::optimality_ratios(run, params, /*t_comp=*/500.0,
+                                  /*t_seq=*/4000.0, /*p=*/4);
+  EXPECT_DOUBLE_EQ(r.phi, 0.5);
+  EXPECT_DOUBLE_EQ(r.eta, 0.2);
+  EXPECT_DOUBLE_EQ(r.xi, 0.0);
+}

@@ -1,0 +1,189 @@
+// Graph algorithms versus sequential references across machine
+// configurations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cgm/machine.h"
+#include "graph/connectivity.h"
+#include "graph/euler_tour.h"
+#include "graph/graph.h"
+#include "graph/lca.h"
+#include "graph/list_ranking.h"
+#include "graph/tree_contraction.h"
+
+using namespace emcgm;
+
+namespace {
+
+struct GraphParam {
+  cgm::EngineKind kind;
+  std::uint32_t v;
+  std::uint32_t p;
+  bool balanced;
+
+  cgm::MachineConfig cfg() const {
+    cgm::MachineConfig c;
+    c.v = v;
+    c.p = p;
+    c.disk.num_disks = 2;
+    c.disk.block_bytes = 256;
+    c.balanced_routing = balanced;
+    return c;
+  }
+};
+
+class GraphSuite : public ::testing::TestWithParam<GraphParam> {
+ protected:
+  cgm::Machine machine() const {
+    return cgm::Machine(GetParam().kind, GetParam().cfg());
+  }
+};
+
+}  // namespace
+
+TEST_P(GraphSuite, ListRankingRandom) {
+  auto m = machine();
+  auto nodes = graph::random_list(5, 3000);
+  auto got = graph::list_ranking(m, nodes);
+  auto want = graph::list_ranking_seq(nodes);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].rank, want[i].rank) << "node " << got[i].id;
+  }
+}
+
+TEST_P(GraphSuite, ListRankingTiny) {
+  auto m = machine();
+  for (std::size_t n : {1ul, 2ul, 5ul, 17ul}) {
+    auto nodes = graph::random_list(n * 7 + 1, n);
+    auto got = graph::list_ranking(m, nodes);
+    auto want = graph::list_ranking_seq(nodes);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].rank, want[i].rank) << "n=" << n << " node " << i;
+    }
+  }
+}
+
+TEST_P(GraphSuite, EulerTourRandomTree) {
+  auto m = machine();
+  const std::uint64_t n = 500;
+  auto edges = graph::random_tree(6, n);
+  auto got = graph::euler_tour_all(m, edges, n);
+  auto want = graph::euler_tour_seq(edges, n);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].parent, want[i].parent) << "vertex " << i;
+    EXPECT_EQ(got[i].depth, want[i].depth) << "vertex " << i;
+    EXPECT_EQ(got[i].preorder, want[i].preorder) << "vertex " << i;
+    EXPECT_EQ(got[i].subtree, want[i].subtree) << "vertex " << i;
+  }
+}
+
+TEST_P(GraphSuite, EulerTourPathAndStar) {
+  auto m = machine();
+  // Path 0-1-2-...-29.
+  std::vector<graph::Edge> path;
+  for (std::uint64_t i = 1; i < 30; ++i) {
+    path.push_back(graph::Edge{i - 1, i});
+  }
+  auto got = graph::euler_tour_all(m, path, 30);
+  auto want = graph::euler_tour_seq(path, 30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(got[i].depth, want[i].depth);
+    EXPECT_EQ(got[i].subtree, want[i].subtree);
+  }
+  // Star centered at 0.
+  std::vector<graph::Edge> star;
+  for (std::uint64_t i = 1; i < 20; ++i) star.push_back(graph::Edge{0, i});
+  auto gs = graph::euler_tour_all(m, star, 20);
+  auto ws = graph::euler_tour_seq(star, 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(gs[i].parent, ws[i].parent);
+    EXPECT_EQ(gs[i].preorder, ws[i].preorder);
+  }
+}
+
+TEST_P(GraphSuite, ConnectedComponentsGnm) {
+  auto m = machine();
+  const std::uint64_t n = 400;
+  auto edges = graph::gnm_graph(8, n, 500);
+  auto got = graph::connected_components(m, edges, n);
+  auto want = graph::connected_components_seq(edges, n);
+  ASSERT_EQ(got.components.size(), want.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got.components[i].comp, want[i].comp) << "vertex " << i;
+  }
+}
+
+TEST_P(GraphSuite, SpanningForestValid) {
+  auto m = machine();
+  const std::uint64_t n = 300;
+  auto edges = graph::gnm_graph(9, n, 350);
+  auto got = graph::connected_components(m, edges, n);
+  // Forest size = n - #components; forest edges must not create cycles and
+  // must connect exactly the same components.
+  std::set<std::uint64_t> comps;
+  for (const auto& c : got.components) comps.insert(c.comp);
+  EXPECT_EQ(got.forest.size(), n - comps.size());
+  auto check = graph::connected_components_seq(got.forest, n);
+  auto want = graph::connected_components_seq(edges, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(check[i].comp, want[i].comp) << "vertex " << i;
+  }
+}
+
+TEST_P(GraphSuite, ConnectedComponentsPathForest) {
+  auto m = machine();
+  const std::uint64_t n = 256;
+  auto edges = graph::path_forest(n, 8);  // adversarial diameter
+  auto got = graph::connected_components(m, edges, n);
+  auto want = graph::connected_components_seq(edges, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got.components[i].comp, want[i].comp) << "vertex " << i;
+  }
+}
+
+TEST_P(GraphSuite, ExpressionEvaluation) {
+  auto m = machine();
+  for (std::size_t leaves : {1ul, 2ul, 3ul, 50ul, 300ul}) {
+    std::uint64_t root = 0;
+    auto nodes = graph::random_expression(10 + leaves, leaves, &root);
+    const std::uint64_t want = graph::eval_expression(nodes, root);
+    const std::uint64_t got = graph::eval_expression_cgm(m, nodes, root);
+    EXPECT_EQ(got, want) << "leaves=" << leaves;
+  }
+}
+
+TEST_P(GraphSuite, LcaBatch) {
+  auto m = machine();
+  const std::uint64_t n = 400;
+  auto edges = graph::random_tree(12, n);
+  std::vector<graph::LcaQuery> qs;
+  Rng rng(13);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    qs.push_back(graph::LcaQuery{rng.next_below(n), rng.next_below(n), i});
+  }
+  auto got = graph::lca_batch(m, edges, n, qs);
+  auto want = graph::lca_seq(edges, n, qs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].lca, want[i].lca) << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GraphSuite,
+    ::testing::Values(GraphParam{cgm::EngineKind::kNative, 4, 1, false},
+                      GraphParam{cgm::EngineKind::kEm, 4, 1, false},
+                      GraphParam{cgm::EngineKind::kEm, 8, 2, false},
+                      GraphParam{cgm::EngineKind::kEm, 6, 2, true},
+                      GraphParam{cgm::EngineKind::kEm, 1, 1, false}),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      const auto& p = info.param;
+      std::string s = p.kind == cgm::EngineKind::kNative ? "native" : "em";
+      s += "_v" + std::to_string(p.v) + "_p" + std::to_string(p.p);
+      if (p.balanced) s += "_bal";
+      return s;
+    });

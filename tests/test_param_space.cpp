@@ -1,0 +1,69 @@
+// The §1.4 parameter-space analysis (Figs. 6-7): closed form, consistency
+// with the defining inequality, and the paper's narrative data points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/param_space.h"
+#include "util/error.h"
+
+using namespace emcgm::algo;
+
+TEST(ParamSpace, ClosedFormMatchesInequality) {
+  // N = v^{c/(c-1)} B is exactly the boundary of (M/B)^c >= N/B, M = N/v.
+  for (double c : {2.0, 3.0, 4.0}) {
+    for (double v : {4.0, 100.0, 10000.0}) {
+      for (double B : {128.0, 1000.0}) {
+        const double N = min_problem_size(v, B, c);
+        EXPECT_TRUE(log_term_bounded(N * 1.001, v, B, c))
+            << "just above the surface must satisfy it";
+        EXPECT_FALSE(log_term_bounded(N * 0.5, v, B, c))
+            << "well below the surface must violate it";
+      }
+    }
+  }
+}
+
+TEST(ParamSpace, PaperNarrativeNumbers) {
+  // §1.4: B = 10^3. c = 2, v = 10^4 => N ~ 100 giga-items (10^11).
+  EXPECT_NEAR(min_problem_size(1e4, 1e3, 2.0), 1e11, 1e6);
+  // c = 3, v = 10^4 => N ~ 1 giga-item (10^9).
+  EXPECT_NEAR(min_problem_size(1e4, 1e3, 3.0), 1e9, 1e4);
+  // c = 2, v = 100 => ~10 mega-items suffice.
+  EXPECT_NEAR(min_problem_size(1e2, 1e3, 2.0), 1e7, 1e2);
+}
+
+TEST(ParamSpace, LogRatioBehaviour) {
+  // log_{M/B}(N/B): equals the merge-pass count shape; decreasing in M.
+  const double N = 1e9, B = 1e3;
+  EXPECT_GT(log_ratio(N, 1e4, B), log_ratio(N, 1e6, B));
+  // When (M/B)^2 = N/B the ratio is exactly 2.
+  const double M = std::sqrt(N / B) * B;
+  EXPECT_NEAR(log_ratio(N, M, B), 2.0, 1e-9);
+}
+
+TEST(ParamSpace, MonotoneSurface) {
+  // Larger v or B demands larger N; larger c relaxes the demand.
+  EXPECT_LT(min_problem_size(100, 1000, 2), min_problem_size(200, 1000, 2));
+  EXPECT_LT(min_problem_size(100, 500, 2), min_problem_size(100, 1000, 2));
+  EXPECT_GT(min_problem_size(100, 1000, 2), min_problem_size(100, 1000, 3));
+}
+
+TEST(ParamSpace, SurfaceSamplers) {
+  auto surf = fig6_surface(2.0, 1.0, 1e4, 1e2, 1e4, 2);
+  EXPECT_GT(surf.size(), 20u);
+  for (const auto& p : surf) {
+    EXPECT_NEAR(p.N, min_problem_size(p.v, p.B, 2.0), p.N * 1e-12);
+  }
+  auto slice = fig7_slice(2.0, 1e3, 1.0, 1e4, 4);
+  EXPECT_GT(slice.size(), 10u);
+  for (std::size_t i = 1; i < slice.size(); ++i) {
+    EXPECT_GT(slice[i].N, slice[i - 1].N);
+  }
+}
+
+TEST(ParamSpace, InvalidArgumentsRejected) {
+  EXPECT_THROW(min_problem_size(0.5, 1000, 2), emcgm::Error);
+  EXPECT_THROW(min_problem_size(10, 1000, 1.0), emcgm::Error);
+  EXPECT_THROW(log_ratio(1e6, 100, 200), emcgm::Error);  // M <= B
+}

@@ -1,0 +1,218 @@
+// Parallel Disk Model substrate: addressing, op legality, statistics,
+// striping, batching disciplines, regions, backends, cost model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pdm/backend.h"
+#include "pdm/cost_model.h"
+#include "pdm/disk_array.h"
+#include "pdm/striping.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+using namespace emcgm::pdm;
+
+namespace {
+
+DiskArray make_array(std::uint32_t D, std::size_t B) {
+  return DiskArray(std::make_unique<MemoryBackend>(DiskGeometry{D, B}));
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 31 + seed) & 0xFF);
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(Geometry, ConsecutiveAddressing) {
+  // Footnote 2: block q of a run starting at disk d, track T0.
+  EXPECT_EQ(consecutive_addr(4, 0, 0, 0), (BlockAddr{0, 0}));
+  EXPECT_EQ(consecutive_addr(4, 0, 0, 3), (BlockAddr{3, 0}));
+  EXPECT_EQ(consecutive_addr(4, 0, 0, 4), (BlockAddr{0, 1}));
+  EXPECT_EQ(consecutive_addr(4, 2, 5, 3), (BlockAddr{1, 6}));
+  EXPECT_EQ(consecutive_addr(1, 0, 7, 9), (BlockAddr{0, 16}));
+}
+
+TEST(DiskArray, RoundTripSingleBlock) {
+  auto a = make_array(3, 64);
+  auto data = pattern(64, 1);
+  WriteSlot w{BlockAddr{1, 5}, data};
+  a.parallel_write(std::span<const WriteSlot>(&w, 1));
+  std::vector<std::byte> out(64);
+  ReadSlot r{BlockAddr{1, 5}, out};
+  a.parallel_read(std::span<const ReadSlot>(&r, 1));
+  EXPECT_EQ(out, data);
+}
+
+TEST(DiskArray, RejectsSameDiskTwiceInOneOp) {
+  auto a = make_array(4, 64);
+  auto d1 = pattern(64, 1), d2 = pattern(64, 2);
+  std::vector<WriteSlot> slots{{BlockAddr{2, 0}, d1}, {BlockAddr{2, 1}, d2}};
+  EXPECT_THROW(a.parallel_write(slots), Error);
+}
+
+TEST(DiskArray, RejectsMoreThanDBlocks) {
+  auto a = make_array(2, 64);
+  auto d = pattern(64, 3);
+  std::vector<WriteSlot> slots{
+      {BlockAddr{0, 0}, d}, {BlockAddr{1, 0}, d}, {BlockAddr{0, 1}, d}};
+  EXPECT_THROW(a.parallel_write(slots), Error);
+}
+
+TEST(DiskArray, RejectsOutOfRangeDisk) {
+  auto a = make_array(2, 64);
+  auto d = pattern(64, 4);
+  WriteSlot w{BlockAddr{7, 0}, d};
+  EXPECT_THROW(a.parallel_write(std::span<const WriteSlot>(&w, 1)), Error);
+}
+
+TEST(DiskArray, CountsOpsAndBlocks) {
+  auto a = make_array(4, 64);
+  auto d = pattern(64, 5);
+  std::vector<WriteSlot> full{{BlockAddr{0, 0}, d},
+                              {BlockAddr{1, 0}, d},
+                              {BlockAddr{2, 0}, d},
+                              {BlockAddr{3, 0}, d}};
+  a.parallel_write(full);
+  WriteSlot one{BlockAddr{2, 9}, d};
+  a.parallel_write(std::span<const WriteSlot>(&one, 1));
+  EXPECT_EQ(a.stats().write_ops, 2u);
+  EXPECT_EQ(a.stats().blocks_written, 5u);
+  EXPECT_EQ(a.stats().full_stripe_ops, 1u);
+  EXPECT_DOUBLE_EQ(a.stats().parallel_efficiency(4), 5.0 / 8.0);
+}
+
+TEST(DiskArray, UnwrittenTracksReadZero) {
+  auto a = make_array(2, 32);
+  std::vector<std::byte> out(32, std::byte{0xAB});
+  ReadSlot r{BlockAddr{0, 99}, out};
+  a.parallel_read(std::span<const ReadSlot>(&r, 1));
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Striping, ExtentRoundTripAndOpCount) {
+  auto a = make_array(4, 64);
+  TrackSpace space;
+  TrackRegion region(space);
+  StripeCursor cursor(4);
+  // 10 blocks => ceil(10/4) = 3 parallel writes, 3 parallel reads.
+  auto data = pattern(10 * 64 - 13, 6);  // partial tail block
+  Extent e = cursor.alloc(data.size(), 64);
+  write_striped(a, region, e, data);
+  EXPECT_EQ(a.stats().write_ops, 3u);
+  std::vector<std::byte> out(data.size());
+  read_striped(a, region, e, out);
+  EXPECT_EQ(a.stats().read_ops, 3u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Striping, ConsecutiveExtentsContinueTheStripe) {
+  StripeCursor cursor(4);
+  Extent e1 = cursor.alloc(3 * 64, 64);  // blocks 0..2
+  Extent e2 = cursor.alloc(2 * 64, 64);  // blocks 3..4
+  EXPECT_EQ(e1.addr(4, 0).disk, 0u);
+  EXPECT_EQ(e2.addr(4, 0).disk, 3u);  // continues at global block 3
+  EXPECT_EQ(e2.addr(4, 1).disk, 0u);
+  EXPECT_EQ(e2.addr(4, 1).track, 1u);
+}
+
+TEST(Striping, FifoWriteCutsOnConflict) {
+  auto a = make_array(4, 64);
+  auto d = pattern(64, 7);
+  // Disks 0,1,0: FIFO must cut before the second disk-0 block.
+  std::vector<WriteSlot> slots{{BlockAddr{0, 0}, d},
+                               {BlockAddr{1, 0}, d},
+                               {BlockAddr{0, 1}, d}};
+  EXPECT_EQ(fifo_write(a, slots), 2u);
+  EXPECT_EQ(a.stats().write_ops, 2u);
+}
+
+TEST(Striping, GreedyBatchingReachesPerDiskOptimum) {
+  auto a = make_array(4, 64);
+  auto d = pattern(64, 8);
+  // 5 blocks on disk 2, 1 on each other: optimum = 5 ops; FIFO in this
+  // adversarial order would also produce 5 here, but greedy is provably
+  // max_d(count) for any order.
+  std::vector<WriteSlot> slots;
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    slots.push_back(WriteSlot{BlockAddr{2, t}, d});
+  }
+  slots.push_back(WriteSlot{BlockAddr{0, 0}, d});
+  slots.push_back(WriteSlot{BlockAddr{1, 0}, d});
+  slots.push_back(WriteSlot{BlockAddr{3, 0}, d});
+  EXPECT_EQ(greedy_write(a, slots), 5u);
+}
+
+TEST(Striping, RegionsDoNotOverlap) {
+  TrackSpace space;
+  TrackRegion r1(space, 16), r2(space, 16);
+  // Interleaved growth must still hand out disjoint physical tracks.
+  std::vector<std::uint64_t> seen;
+  for (int i = 0; i < 40; ++i) {
+    seen.push_back(r1.physical_track(i));
+    seen.push_back(r2.physical_track(i));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(FileBackend, RoundTripAndCleanup) {
+  const std::string dir = "/tmp/emcgm_test_backend";
+  std::filesystem::remove_all(dir);
+  {
+    DiskArray a(std::make_unique<FileBackend>(DiskGeometry{2, 128}, dir));
+    auto data = pattern(128, 9);
+    WriteSlot w{BlockAddr{1, 3}, data};
+    a.parallel_write(std::span<const WriteSlot>(&w, 1));
+    std::vector<std::byte> out(128);
+    ReadSlot r{BlockAddr{1, 3}, out};
+    a.parallel_read(std::span<const ReadSlot>(&r, 1));
+    EXPECT_EQ(out, data);
+    // Sparse read past EOF yields zeros.
+    ReadSlot r2{BlockAddr{0, 50}, out};
+    a.parallel_read(std::span<const ReadSlot>(&r2, 1));
+    for (auto b : out) EXPECT_EQ(b, std::byte{0});
+    EXPECT_TRUE(std::filesystem::exists(dir + "/disk0.bin"));
+  }
+  // Destructor unlinks the disk files.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/disk0.bin"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CostModel, MonotoneAndSaturating) {
+  DiskCostModel m;
+  // Effective throughput grows with block size and approaches the media
+  // rate (Fig. 8 shape).
+  double prev = 0;
+  for (std::size_t b = 512; b <= (1u << 24); b *= 4) {
+    const double eff = m.effective_mb_s(b);
+    EXPECT_GT(eff, prev);
+    EXPECT_LT(eff, m.bandwidth_mb_s);
+    prev = eff;
+  }
+  EXPECT_GT(m.effective_mb_s(1u << 24), 0.9 * m.bandwidth_mb_s * 0.9);
+}
+
+TEST(CostModel, EfficiencyKneeNearPaperBlockSize) {
+  // The paper fixes B at ~10^3 items (~8 KB for 8-byte items); with
+  // 1990s-era constants the 50% efficiency point sits in the 100 KB range
+  // and 8 KB blocks are deep in the positioning-dominated regime — which
+  // is exactly why blocked, fully-parallel access matters.
+  DiskCostModel m;
+  const std::size_t half = m.block_bytes_for_efficiency(0.5);
+  EXPECT_GT(half, 100u * 1024);
+  EXPECT_LT(half, 1024u * 1024);
+}
+
+TEST(CostModel, IoSecondsScalesWithOps) {
+  DiskCostModel m;
+  IoStats s;
+  s.read_ops = 10;
+  s.write_ops = 5;
+  EXPECT_DOUBLE_EQ(m.io_seconds(s, 4096), 15 * m.op_seconds(4096));
+}

@@ -1,0 +1,172 @@
+// BalancedRouting (Algorithm 1): content preservation and the Theorem 1 /
+// Corollary 1 message-size bounds, over parameterized v and adversarial
+// message-size distributions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "routing/balanced_routing.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+
+namespace {
+
+// Run the full two-round protocol centrally and return (delivered app
+// messages, per-phase physical data-byte matrix).
+struct RoutedResult {
+  std::vector<std::vector<cgm::Message>> delivered;  // [dst]
+  std::vector<std::uint64_t> phase_a_sizes;          // data bytes per msg
+  std::vector<std::uint64_t> phase_b_sizes;
+};
+
+RoutedResult route_all(std::uint32_t v,
+                       const std::vector<std::vector<cgm::Message>>& outbox) {
+  RoutedResult res;
+  res.delivered.resize(v);
+  std::vector<std::vector<cgm::Message>> inter(v);
+  for (std::uint32_t i = 0; i < v; ++i) {
+    for (auto& m : routing::encode_phase_a(v, i, outbox[i])) {
+      res.phase_a_sizes.push_back(routing::data_bytes(m));
+      inter[m.dst].push_back(std::move(m));
+    }
+  }
+  std::vector<std::vector<cgm::Message>> final_phys(v);
+  for (std::uint32_t k = 0; k < v; ++k) {
+    for (auto& m : routing::transform_intermediate(v, k, inter[k])) {
+      res.phase_b_sizes.push_back(routing::data_bytes(m));
+      final_phys[m.dst].push_back(std::move(m));
+    }
+  }
+  for (std::uint32_t j = 0; j < v; ++j) {
+    res.delivered[j] = routing::decode_phase_b(v, j, final_phys[j]);
+  }
+  return res;
+}
+
+std::vector<std::byte> make_payload(Rng& rng, std::size_t n) {
+  std::vector<std::byte> p(n);
+  for (auto& b : p) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return p;
+}
+
+class RoutingSuite : public ::testing::TestWithParam<std::uint32_t> {};
+
+}  // namespace
+
+TEST_P(RoutingSuite, RandomTrafficRoundTrips) {
+  const std::uint32_t v = GetParam();
+  Rng rng(100 + v);
+  std::vector<std::vector<cgm::Message>> outbox(v);
+  std::vector<std::vector<std::vector<std::byte>>> expect(
+      v, std::vector<std::vector<std::byte>>(v));
+  for (std::uint32_t i = 0; i < v; ++i) {
+    for (std::uint32_t j = 0; j < v; ++j) {
+      if (rng.next_bool()) continue;  // sparse pattern
+      auto payload = make_payload(rng, 1 + rng.next_below(300));
+      expect[j][i] = payload;
+      outbox[i].push_back(cgm::Message{i, j, std::move(payload)});
+    }
+  }
+  auto res = route_all(v, outbox);
+  for (std::uint32_t j = 0; j < v; ++j) {
+    for (const auto& m : res.delivered[j]) {
+      EXPECT_EQ(m.payload, expect[j][m.src])
+          << "message " << m.src << " -> " << j;
+      expect[j][m.src].clear();
+    }
+    for (std::uint32_t i = 0; i < v; ++i) {
+      EXPECT_TRUE(expect[j][i].empty()) << "lost message " << i << "->" << j;
+    }
+  }
+}
+
+TEST_P(RoutingSuite, SkewedTrafficIsBalanced) {
+  // Adversarial h-relation: processor i sends everything to one target.
+  const std::uint32_t v = GetParam();
+  if (v < 2) return;
+  Rng rng(200 + v);
+  const std::size_t big = 400 * v;
+  std::vector<std::vector<cgm::Message>> outbox(v);
+  for (std::uint32_t i = 0; i < v; ++i) {
+    outbox[i].push_back(
+        cgm::Message{i, (i + 1) % v, make_payload(rng, big)});
+  }
+  auto res = route_all(v, outbox);
+  // Theorem 1 with per-source volume S = big: every physical message's
+  // data bytes lie within S/v +- (v/2 + 1).
+  const double mean = static_cast<double>(big) / v;
+  for (auto s : res.phase_a_sizes) {
+    EXPECT_NEAR(static_cast<double>(s), mean, v / 2.0 + 1.0);
+  }
+  // Round B: every destination receives exactly S, again split v ways.
+  for (auto s : res.phase_b_sizes) {
+    EXPECT_NEAR(static_cast<double>(s), mean, v / 2.0 + 1.0);
+  }
+  // And the content survives.
+  for (std::uint32_t j = 0; j < v; ++j) {
+    ASSERT_EQ(res.delivered[j].size(), 1u);
+    EXPECT_EQ(res.delivered[j][0].payload.size(), big);
+  }
+}
+
+TEST_P(RoutingSuite, UniformAllToAllBounds) {
+  const std::uint32_t v = GetParam();
+  Rng rng(300 + v);
+  const std::size_t msg = 64 * v;
+  std::vector<std::vector<cgm::Message>> outbox(v);
+  for (std::uint32_t i = 0; i < v; ++i) {
+    for (std::uint32_t j = 0; j < v; ++j) {
+      outbox[i].push_back(cgm::Message{i, j, make_payload(rng, msg)});
+    }
+  }
+  auto res = route_all(v, outbox);
+  const double mean = static_cast<double>(msg) * v / v;  // S/v = msg
+  for (auto s : res.phase_a_sizes) {
+    EXPECT_NEAR(static_cast<double>(s), mean, v / 2.0 + 1.0);
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t j = 0; j < v; ++j) {
+    for (const auto& m : res.delivered[j]) total += m.payload.size();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(msg) * v * v);
+}
+
+TEST_P(RoutingSuite, VariedLengthsRoundTrip) {
+  // Lengths 0, 1, v-1, v, v+1, large: exercise every stride edge case.
+  const std::uint32_t v = GetParam();
+  Rng rng(400 + v);
+  const std::size_t lens[] = {0, 1, v - 1 + 1, v, v + 1, 7 * v + 3};
+  std::vector<std::vector<cgm::Message>> outbox(v);
+  std::vector<std::vector<std::vector<std::byte>>> expect(
+      v, std::vector<std::vector<std::byte>>(v));
+  std::size_t li = 0;
+  for (std::uint32_t i = 0; i < v; ++i) {
+    for (std::uint32_t j = 0; j < v; ++j) {
+      const std::size_t len = lens[li++ % std::size(lens)];
+      if (len == 0) continue;
+      auto payload = make_payload(rng, len);
+      expect[j][i] = payload;
+      outbox[i].push_back(cgm::Message{i, j, std::move(payload)});
+    }
+  }
+  auto res = route_all(v, outbox);
+  for (std::uint32_t j = 0; j < v; ++j) {
+    std::size_t matched = 0;
+    for (const auto& m : res.delivered[j]) {
+      EXPECT_EQ(m.payload, expect[j][m.src]);
+      ++matched;
+    }
+    std::size_t expected_count = 0;
+    for (std::uint32_t i = 0; i < v; ++i) {
+      if (!expect[j][i].empty()) ++expected_count;
+    }
+    EXPECT_EQ(matched, expected_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vs, RoutingSuite,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "v" + std::to_string(i.param);
+                         });
