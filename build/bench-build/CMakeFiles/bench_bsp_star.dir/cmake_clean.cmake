@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bsp_star"
+  "../bench/bench_bsp_star.pdb"
+  "CMakeFiles/bench_bsp_star.dir/bench_bsp_star.cpp.o"
+  "CMakeFiles/bench_bsp_star.dir/bench_bsp_star.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bsp_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

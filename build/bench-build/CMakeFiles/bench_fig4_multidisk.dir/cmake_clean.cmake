@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_multidisk"
+  "../bench/bench_fig4_multidisk.pdb"
+  "CMakeFiles/bench_fig4_multidisk.dir/bench_fig4_multidisk.cpp.o"
+  "CMakeFiles/bench_fig4_multidisk.dir/bench_fig4_multidisk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multidisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_groupA"
+  "../bench/bench_fig5_groupA.pdb"
+  "CMakeFiles/bench_fig5_groupA.dir/bench_fig5_groupA.cpp.o"
+  "CMakeFiles/bench_fig5_groupA.dir/bench_fig5_groupA.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groupA.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_groupB"
+  "../bench/bench_fig5_groupB.pdb"
+  "CMakeFiles/bench_fig5_groupB.dir/bench_fig5_groupB.cpp.o"
+  "CMakeFiles/bench_fig5_groupB.dir/bench_fig5_groupB.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groupB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

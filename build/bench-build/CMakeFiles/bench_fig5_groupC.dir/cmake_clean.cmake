@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_groupC"
+  "../bench/bench_fig5_groupC.pdb"
+  "CMakeFiles/bench_fig5_groupC.dir/bench_fig5_groupC.cpp.o"
+  "CMakeFiles/bench_fig5_groupC.dir/bench_fig5_groupC.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_groupC.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

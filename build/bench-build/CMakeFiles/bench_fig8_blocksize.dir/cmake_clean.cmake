@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_blocksize"
+  "../bench/bench_fig8_blocksize.pdb"
+  "CMakeFiles/bench_fig8_blocksize.dir/bench_fig8_blocksize.cpp.o"
+  "CMakeFiles/bench_fig8_blocksize.dir/bench_fig8_blocksize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

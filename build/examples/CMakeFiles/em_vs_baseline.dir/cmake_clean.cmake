@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_vs_baseline.dir/em_vs_baseline.cpp.o"
+  "CMakeFiles/em_vs_baseline.dir/em_vs_baseline.cpp.o.d"
+  "em_vs_baseline"
+  "em_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

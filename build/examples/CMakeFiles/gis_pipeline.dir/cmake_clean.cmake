@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_pipeline.dir/gis_pipeline.cpp.o"
+  "CMakeFiles/gis_pipeline.dir/gis_pipeline.cpp.o.d"
+  "gis_pipeline"
+  "gis_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

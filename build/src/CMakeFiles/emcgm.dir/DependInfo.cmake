@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/param_space.cpp" "src/CMakeFiles/emcgm.dir/algo/param_space.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/algo/param_space.cpp.o.d"
+  "/root/repo/src/algo/permute.cpp" "src/CMakeFiles/emcgm.dir/algo/permute.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/algo/permute.cpp.o.d"
+  "/root/repo/src/algo/primitives.cpp" "src/CMakeFiles/emcgm.dir/algo/primitives.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/algo/primitives.cpp.o.d"
+  "/root/repo/src/algo/sort.cpp" "src/CMakeFiles/emcgm.dir/algo/sort.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/algo/sort.cpp.o.d"
+  "/root/repo/src/algo/transpose.cpp" "src/CMakeFiles/emcgm.dir/algo/transpose.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/algo/transpose.cpp.o.d"
+  "/root/repo/src/baseline/em_mergesort.cpp" "src/CMakeFiles/emcgm.dir/baseline/em_mergesort.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/baseline/em_mergesort.cpp.o.d"
+  "/root/repo/src/baseline/em_permute.cpp" "src/CMakeFiles/emcgm.dir/baseline/em_permute.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/baseline/em_permute.cpp.o.d"
+  "/root/repo/src/baseline/em_transpose.cpp" "src/CMakeFiles/emcgm.dir/baseline/em_transpose.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/baseline/em_transpose.cpp.o.d"
+  "/root/repo/src/cgm/bsp_cost.cpp" "src/CMakeFiles/emcgm.dir/cgm/bsp_cost.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/cgm/bsp_cost.cpp.o.d"
+  "/root/repo/src/cgm/machine.cpp" "src/CMakeFiles/emcgm.dir/cgm/machine.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/cgm/machine.cpp.o.d"
+  "/root/repo/src/cgm/native_engine.cpp" "src/CMakeFiles/emcgm.dir/cgm/native_engine.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/cgm/native_engine.cpp.o.d"
+  "/root/repo/src/cgm/proc_ctx.cpp" "src/CMakeFiles/emcgm.dir/cgm/proc_ctx.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/cgm/proc_ctx.cpp.o.d"
+  "/root/repo/src/emcgm/context_store.cpp" "src/CMakeFiles/emcgm.dir/emcgm/context_store.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/emcgm/context_store.cpp.o.d"
+  "/root/repo/src/emcgm/em_engine.cpp" "src/CMakeFiles/emcgm.dir/emcgm/em_engine.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/emcgm/em_engine.cpp.o.d"
+  "/root/repo/src/emcgm/message_store.cpp" "src/CMakeFiles/emcgm.dir/emcgm/message_store.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/emcgm/message_store.cpp.o.d"
+  "/root/repo/src/geom/convex_hull.cpp" "src/CMakeFiles/emcgm.dir/geom/convex_hull.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/convex_hull.cpp.o.d"
+  "/root/repo/src/geom/dominance.cpp" "src/CMakeFiles/emcgm.dir/geom/dominance.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/dominance.cpp.o.d"
+  "/root/repo/src/geom/generators.cpp" "src/CMakeFiles/emcgm.dir/geom/generators.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/generators.cpp.o.d"
+  "/root/repo/src/geom/lower_envelope.cpp" "src/CMakeFiles/emcgm.dir/geom/lower_envelope.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/lower_envelope.cpp.o.d"
+  "/root/repo/src/geom/maxima3d.cpp" "src/CMakeFiles/emcgm.dir/geom/maxima3d.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/maxima3d.cpp.o.d"
+  "/root/repo/src/geom/nearest_neighbor.cpp" "src/CMakeFiles/emcgm.dir/geom/nearest_neighbor.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/nearest_neighbor.cpp.o.d"
+  "/root/repo/src/geom/next_element.cpp" "src/CMakeFiles/emcgm.dir/geom/next_element.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/next_element.cpp.o.d"
+  "/root/repo/src/geom/rect_union.cpp" "src/CMakeFiles/emcgm.dir/geom/rect_union.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/rect_union.cpp.o.d"
+  "/root/repo/src/geom/segment_stab.cpp" "src/CMakeFiles/emcgm.dir/geom/segment_stab.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/segment_stab.cpp.o.d"
+  "/root/repo/src/geom/separability.cpp" "src/CMakeFiles/emcgm.dir/geom/separability.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/geom/separability.cpp.o.d"
+  "/root/repo/src/graph/biconnectivity.cpp" "src/CMakeFiles/emcgm.dir/graph/biconnectivity.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/biconnectivity.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/emcgm.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/ear_decomposition.cpp" "src/CMakeFiles/emcgm.dir/graph/ear_decomposition.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/ear_decomposition.cpp.o.d"
+  "/root/repo/src/graph/euler_tour.cpp" "src/CMakeFiles/emcgm.dir/graph/euler_tour.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/euler_tour.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/emcgm.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/lca.cpp" "src/CMakeFiles/emcgm.dir/graph/lca.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/lca.cpp.o.d"
+  "/root/repo/src/graph/list_ranking.cpp" "src/CMakeFiles/emcgm.dir/graph/list_ranking.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/list_ranking.cpp.o.d"
+  "/root/repo/src/graph/tree_contraction.cpp" "src/CMakeFiles/emcgm.dir/graph/tree_contraction.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/graph/tree_contraction.cpp.o.d"
+  "/root/repo/src/pdm/backend.cpp" "src/CMakeFiles/emcgm.dir/pdm/backend.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/pdm/backend.cpp.o.d"
+  "/root/repo/src/pdm/cost_model.cpp" "src/CMakeFiles/emcgm.dir/pdm/cost_model.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/pdm/cost_model.cpp.o.d"
+  "/root/repo/src/pdm/disk_array.cpp" "src/CMakeFiles/emcgm.dir/pdm/disk_array.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/pdm/disk_array.cpp.o.d"
+  "/root/repo/src/pdm/striping.cpp" "src/CMakeFiles/emcgm.dir/pdm/striping.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/pdm/striping.cpp.o.d"
+  "/root/repo/src/routing/balanced_routing.cpp" "src/CMakeFiles/emcgm.dir/routing/balanced_routing.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/routing/balanced_routing.cpp.o.d"
+  "/root/repo/src/util/archive.cpp" "src/CMakeFiles/emcgm.dir/util/archive.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/util/archive.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/emcgm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/emcgm.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

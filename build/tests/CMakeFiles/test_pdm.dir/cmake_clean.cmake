@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdm.dir/test_pdm.cpp.o"
+  "CMakeFiles/test_pdm.dir/test_pdm.cpp.o.d"
+  "test_pdm"
+  "test_pdm.pdb"
+  "test_pdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
