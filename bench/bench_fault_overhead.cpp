@@ -1,0 +1,105 @@
+// Robustness ablation: what fault tolerance costs on the paper's sort
+// workload. Four machines run the same sample sort: the baseline, one with
+// CRC32C block envelopes, one that also commits a checkpoint record after
+// every physical superstep, and a checksummed machine surviving a 1% / block
+// transient-fault storm through bounded retries. Reported: parallel I/Os,
+// wall time, disk footprint, and the observed retry/corruption counters —
+// i.e. the price of each guarantee in the currency the paper counts.
+#include <cstdio>
+
+#include "algo/sort.h"
+#include "bench/bench_util.h"
+#include "emcgm/em_engine.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+using namespace emcgm::bench;
+
+namespace {
+
+struct Probe {
+  std::uint64_t ops;
+  double wall_s;
+  std::uint64_t tracks;
+  std::uint64_t retries;
+  std::uint64_t app_rounds;
+};
+
+std::vector<cgm::PartitionSet> sort_inputs(std::uint32_t v, std::size_t n) {
+  auto keys = random_keys(9, n);
+  cgm::PartitionSet input;
+  input.parts.resize(v);
+  for (std::uint32_t j = 0; j < v; ++j) {
+    const auto b = chunk_begin(n, v, j), c = chunk_size(n, v, j);
+    input.parts[j] = vec_to_bytes(
+        std::vector<std::uint64_t>(keys.begin() + b, keys.begin() + b + c));
+  }
+  std::vector<cgm::PartitionSet> inputs;
+  inputs.push_back(std::move(input));
+  return inputs;
+}
+
+Probe run(bool checksums, bool checkpointing, double fault_prob,
+          std::size_t n) {
+  cgm::MachineConfig cfg = standard_config(8, 1, 4, 2048);
+  cfg.checksums = checksums;
+  cfg.checkpointing = checkpointing;
+  if (fault_prob > 0) {
+    cfg.fault.seed = 1234;
+    cfg.fault.transient_read_prob = fault_prob;
+    cfg.fault.transient_write_prob = fault_prob;
+    cfg.retry.max_attempts = 12;  // absorb the storm
+  }
+  em::EmEngine engine(cfg);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  engine.run(prog, sort_inputs(8, n));
+
+  Probe p{};
+  p.ops = engine.last_result().io.total_ops();
+  p.wall_s = engine.last_result().wall_s;
+  p.tracks = engine.tracks_used(0);
+  p.retries = engine.io_stats(0).retries;
+  p.app_rounds = engine.last_result().app_rounds;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1u << 17;
+  std::printf(
+      "Robustness overhead on sample sort\n"
+      "v=8, p=1, D=4, B=2 KiB, N=2^17 items, chained layout.\n"
+      "Envelope: %u bytes per %u-byte block (%.1f%% capacity tax).\n\n",
+      static_cast<unsigned>(pdm::kEnvelopeBytes), 2048u,
+      100.0 * pdm::kEnvelopeBytes / 2048.0);
+
+  Table t({"machine", "parallel I/Os", "wall s", "disk tracks", "retries"});
+  const Probe base = run(false, false, 0.0, n);
+  t.row({"baseline", fmt_u(base.ops), fmt(base.wall_s, 3), fmt_u(base.tracks),
+         "0"});
+  {
+    const auto p = run(true, false, 0.0, n);
+    t.row({"+ CRC32C envelopes", fmt_u(p.ops), fmt(p.wall_s, 3),
+           fmt_u(p.tracks), "0"});
+  }
+  {
+    const auto p = run(true, true, 0.0, n);
+    t.row({"+ superstep checkpoints", fmt_u(p.ops), fmt(p.wall_s, 3),
+           fmt_u(p.tracks), "0"});
+  }
+  {
+    const auto p = run(true, false, 0.01, n);
+    t.row({"+ 1% transient faults, retried", fmt_u(p.ops), fmt(p.wall_s, 3),
+           fmt_u(p.tracks), fmt_u(p.retries)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: envelopes leave the parallel I/O count unchanged"
+      " (the envelope rides inside the physical block); checkpoints add a"
+      " small per-superstep record write, amortized over %llu supersteps;"
+      " the fault storm costs retries roughly equal to 1%% of block"
+      " transfers, with unchanged output.\n",
+      static_cast<unsigned long long>(base.app_rounds));
+  return 0;
+}

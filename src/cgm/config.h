@@ -5,6 +5,7 @@
 #include <string>
 
 #include "pdm/backend.h"
+#include "pdm/fault.h"
 #include "pdm/geometry.h"
 #include "util/error.h"
 
@@ -58,11 +59,34 @@ struct MachineConfig {
 
   std::uint64_t seed = 1;  ///< seed for randomized algorithm steps
 
+  // ---- fault tolerance (EM engine) -------------------------------------
+  /// Wrap every physical block in a CRC32C envelope verified on read; bit
+  /// rot, torn writes and misdirected blocks surface as IoError(kCorruption)
+  /// instead of silent wrong answers. Costs kEnvelopeBytes per block.
+  bool checksums = false;
+  /// Write a versioned commit record after every physical superstep; a run
+  /// that dies mid-superstep can then continue via EmEngine::resume() from
+  /// the last committed boundary. Incompatible with single_copy_matrix
+  /// (Observation-2 slot reuse clobbers the inbox a replay would re-read).
+  bool checkpointing = false;
+  /// Retry schedule for transient block faults (applied per block inside
+  /// every parallel I/O).
+  pdm::RetryPolicy retry{};
+  /// Deterministic fault injection applied to every real processor's disks
+  /// (tests and robustness benchmarks; default: no faults).
+  pdm::FaultPlan fault{};
+
   void validate() const {
     EMCGM_CHECK_MSG(v >= 1, "need at least one virtual processor");
     EMCGM_CHECK_MSG(p >= 1 && p <= v, "need 1 <= p <= v");
     EMCGM_CHECK_MSG(v % p == 0,
                     "p must divide v (paper §2.2 exposition assumption)");
+    EMCGM_CHECK_MSG(!(checkpointing && single_copy_matrix),
+                    "checkpointing cannot replay a superstep under the"
+                    " Observation-2 single-copy matrix (outgoing slots"
+                    " overwrite the inbox being replayed)");
+    EMCGM_CHECK_MSG(retry.max_attempts >= 1,
+                    "retry policy needs at least one attempt");
     disk.validate();
   }
 };

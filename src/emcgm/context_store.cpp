@@ -51,6 +51,60 @@ void ContextStore::flip() {
   Region& nw = regions_[1 - active_];
   nw.cursor.reset();
   for (auto& e : nw.extents) e.reset();
+  ++epoch_;
+}
+
+namespace {
+
+void save_region_directory(WriteArchive& ar, const pdm::StripeCursor& cursor,
+                           const std::vector<std::optional<pdm::Extent>>& ext) {
+  ar.put<std::uint64_t>(cursor.blocks_allocated());
+  ar.put<std::uint64_t>(ext.size());
+  for (const auto& e : ext) {
+    ar.put<std::uint8_t>(e.has_value() ? 1 : 0);
+    if (e) {
+      ar.put<std::uint32_t>(e->start_disk);
+      ar.put<std::uint64_t>(e->start_track);
+      ar.put<std::uint64_t>(e->bytes);
+    }
+  }
+}
+
+void load_region_directory(ReadArchive& ar, pdm::StripeCursor& cursor,
+                           std::vector<std::optional<pdm::Extent>>& ext) {
+  cursor.restore(ar.get<std::uint64_t>());
+  const auto n = ar.get<std::uint64_t>();
+  EMCGM_CHECK_MSG(n == ext.size(), "context snapshot has wrong vproc count");
+  for (auto& e : ext) {
+    if (ar.get<std::uint8_t>()) {
+      pdm::Extent x;
+      x.start_disk = ar.get<std::uint32_t>();
+      x.start_track = ar.get<std::uint64_t>();
+      x.bytes = ar.get<std::uint64_t>();
+      e = x;
+    } else {
+      e.reset();
+    }
+  }
+}
+
+}  // namespace
+
+void ContextStore::save(WriteArchive& ar) const {
+  ar.put<std::uint8_t>(static_cast<std::uint8_t>(active_));
+  ar.put<std::uint64_t>(epoch_);
+  for (const auto& r : regions_) {
+    save_region_directory(ar, r.cursor, r.extents);
+  }
+}
+
+void ContextStore::load(ReadArchive& ar) {
+  active_ = ar.get<std::uint8_t>();
+  EMCGM_CHECK(active_ == 0 || active_ == 1);
+  epoch_ = ar.get<std::uint64_t>();
+  for (auto& r : regions_) {
+    load_region_directory(ar, r.cursor, r.extents);
+  }
 }
 
 }  // namespace emcgm::em

@@ -18,6 +18,7 @@
 
 #include "pdm/disk_array.h"
 #include "pdm/striping.h"
+#include "util/archive.h"
 
 namespace emcgm::em {
 
@@ -42,6 +43,20 @@ class ContextStore {
   /// since the previous flip.
   void flip();
 
+  /// Number of flips since construction; part of the commit record so that
+  /// recovery can verify it restored the epoch it committed.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Serialize the directory state (active side, cursors, extents) for a
+  /// superstep commit record. The block data itself stays on disk.
+  void save(WriteArchive& ar) const;
+
+  /// Restore a directory state saved at a superstep boundary. The on-disk
+  /// blocks referenced by the saved extents must still be intact — true for
+  /// any crash after the corresponding commit, because later supersteps only
+  /// write into the *other* region.
+  void load(ReadArchive& ar);
+
  private:
   struct Region {
     pdm::TrackRegion tracks;
@@ -57,6 +72,7 @@ class ContextStore {
   std::uint32_t nlocal_;
   Region regions_[2];
   int active_ = 0;  ///< readable region; 1 - active_ is being written
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace emcgm::em

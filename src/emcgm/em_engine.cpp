@@ -1,11 +1,14 @@
 #include "emcgm/em_engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "cgm/proc_ctx.h"
+#include "pdm/checksum.h"
 #include "routing/balanced_routing.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -15,6 +18,10 @@ namespace emcgm::em {
 namespace {
 
 constexpr std::uint64_t kMaxRounds = 1u << 20;
+
+// Commit-record framing (superstep checkpointing).
+constexpr std::uint32_t kCkptMagic = 0x454D4B50;  // "EMKP"
+constexpr std::uint32_t kCkptVersion = 1;
 
 // Serialized context layout: inputs (round 0 only), program state, outputs.
 std::vector<std::byte> pack_context(
@@ -65,13 +72,29 @@ struct EmEngine::RealProc {
   std::unique_ptr<ContextStore> contexts;
   std::unique_ptr<MessageStore> messages;
 
+  // Two alternating on-disk slots for superstep commit records, so a crash
+  // while writing record k+1 leaves record k intact.
+  struct CkptSlot {
+    pdm::TrackRegion tracks;
+    pdm::StripeCursor cursor;
+    pdm::Extent extent{};
+
+    CkptSlot(pdm::TrackSpace& space, std::uint32_t D)
+        : tracks(space, 64), cursor(D) {}
+  };
+  std::optional<CkptSlot> ckpt[2];
+
   RealProc(const cgm::MachineConfig& cfg, std::uint32_t index) {
     std::string dir;
     if (cfg.backend == pdm::BackendKind::kFile) {
       dir = cfg.file_dir + "/proc" + std::to_string(index);
     }
-    disks = std::make_unique<pdm::DiskArray>(
-        pdm::make_backend(cfg.backend, cfg.disk, dir));
+    pdm::DiskArrayOptions opts;
+    opts.checksums = cfg.checksums;
+    opts.retry = cfg.retry;
+    disks = pdm::make_disk_array(cfg.backend, cfg.disk, dir, opts, cfg.fault);
+    ckpt[0].emplace(space, cfg.disk.num_disks);
+    ckpt[1].emplace(space, cfg.disk.num_disks);
   }
 };
 
@@ -99,13 +122,95 @@ std::uint64_t EmEngine::tracks_used(std::uint32_t real_proc) const {
   return procs_[real_proc]->disks->tracks_used();
 }
 
+pdm::DiskArray& EmEngine::disk_array(std::uint32_t real_proc) {
+  EMCGM_CHECK(real_proc < cfg_.p);
+  return *procs_[real_proc]->disks;
+}
+
+void EmEngine::disarm_faults() {
+  for (auto& rp : procs_) {
+    if (auto* f = rp->disks->fault_injector()) f->disarm();
+  }
+}
+
+std::uint64_t EmEngine::checkpoint_round() const {
+  EMCGM_CHECK_MSG(commit_.valid, "no committed checkpoint");
+  return commit_.round;
+}
+
+// -------------------------------------------------------------- commit ----
+
+void EmEngine::commit(std::uint64_t round, Phase phase) {
+  const std::uint64_t seq = commit_.seq + 1;
+  const int slot = static_cast<int>(seq % 2);
+  for (auto& rp : procs_) {
+    WriteArchive ar;
+    ar.put<std::uint32_t>(kCkptMagic);
+    ar.put<std::uint32_t>(kCkptVersion);
+    ar.put<std::uint64_t>(seq);
+    ar.put<std::uint64_t>(round);
+    ar.put<std::uint32_t>(static_cast<std::uint32_t>(phase));
+    rp->contexts->save(ar);
+    rp->messages->save(ar);
+    ar.put<std::uint32_t>(pdm::crc32c(ar.buffer()));
+    auto blob = ar.take();
+
+    auto& ck = *rp->ckpt[slot];
+    ck.cursor.reset();
+    ck.extent = ck.cursor.alloc(blob.size(), rp->disks->block_bytes());
+    pdm::write_striped(*rp->disks, ck.tracks, ck.extent, blob);
+  }
+  commit_ = Commit{true, seq, round, phase};
+}
+
+void EmEngine::restore_from_commit() {
+  EMCGM_CHECK_MSG(commit_.valid, "no committed checkpoint to resume from");
+  const int slot = static_cast<int>(commit_.seq % 2);
+  for (auto& rp : procs_) {
+    EMCGM_CHECK_MSG(rp->contexts && rp->messages,
+                    "resume() before run() set up the stores");
+    auto& ck = *rp->ckpt[slot];
+    std::vector<std::byte> blob(ck.extent.bytes);
+    pdm::read_striped(*rp->disks, ck.tracks, ck.extent, blob);
+
+    EMCGM_CHECK_MSG(blob.size() > 4, "commit record truncated");
+    const auto body =
+        std::span<const std::byte>(blob.data(), blob.size() - 4);
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, blob.data() + blob.size() - 4, 4);
+    if (stored_crc != pdm::crc32c(body)) {
+      throw IoError(IoErrorKind::kCorruption,
+                    "commit record checksum mismatch");
+    }
+    ReadArchive ar(body);
+    const auto magic = ar.get<std::uint32_t>();
+    const auto version = ar.get<std::uint32_t>();
+    if (magic != kCkptMagic || version != kCkptVersion) {
+      throw IoError(IoErrorKind::kCorruption,
+                    "commit record has bad magic/version");
+    }
+    const auto seq = ar.get<std::uint64_t>();
+    const auto round = ar.get<std::uint64_t>();
+    const auto phase = ar.get<std::uint32_t>();
+    EMCGM_CHECK_MSG(seq == commit_.seq && round == commit_.round &&
+                        phase == static_cast<std::uint32_t>(commit_.phase),
+                    "commit record does not match the in-memory commit mark");
+    rp->contexts->load(ar);
+    rp->messages->load(ar);
+    EMCGM_CHECK_MSG(ar.exhausted(), "commit record has trailing bytes");
+  }
+}
+
+// ----------------------------------------------------------------- run ----
+
 std::vector<cgm::PartitionSet> EmEngine::run(
     const cgm::Program& program, std::vector<cgm::PartitionSet> inputs) {
-  Timer timer;
   const std::uint32_t v = cfg_.v;
   const std::uint32_t p = cfg_.p;
   const std::uint32_t nloc = nlocal();
-  cgm::RunResult result;
+
+  commit_ = Commit{};
+  running_program_ = program.name();
 
   pdm::IoStats io_before;
   for (auto& rp : procs_) io_before += rp->disks->stats();
@@ -179,9 +284,37 @@ std::vector<cgm::PartitionSet> EmEngine::run(
   }
   for (auto& rp : procs_) rp->contexts->flip();
 
-  // ---------------------------------------------------------- main loop --
+  // Superstep 0 is now recoverable: the inputs live on disk.
+  if (cfg_.checkpointing) commit(0, Phase::kCompute);
+
+  return run_loop(program, 0, Phase::kCompute, io_before);
+}
+
+std::vector<cgm::PartitionSet> EmEngine::resume(const cgm::Program& program) {
+  EMCGM_CHECK_MSG(cfg_.checkpointing,
+                  "resume() requires cfg.checkpointing = true");
+  EMCGM_CHECK_MSG(program.name() == running_program_,
+                  "resume() must be called with the program passed to run()"
+                  " (got '" << program.name() << "', ran '"
+                            << running_program_ << "')");
+  restore_from_commit();
+
+  pdm::IoStats io_before;
+  for (auto& rp : procs_) io_before += rp->disks->stats();
+  return run_loop(program, commit_.round, commit_.phase, io_before);
+}
+
+// ----------------------------------------------------------- main loop ----
+
+std::vector<cgm::PartitionSet> EmEngine::run_loop(
+    const cgm::Program& program, std::uint64_t start_round, Phase start_phase,
+    const pdm::IoStats& io_before) {
+  Timer timer;
+  const std::uint32_t v = cfg_.v;
+  const std::uint32_t p = cfg_.p;
+  const std::uint32_t nloc = nlocal();
   const bool balanced = cfg_.balanced_routing;
-  bool all_done = false;
+  cgm::RunResult result;
 
   // Per-superstep I/O trace: delta of the summed disk statistics.
   pdm::IoStats trace_mark = io_before;
@@ -346,43 +479,57 @@ std::vector<cgm::PartitionSet> EmEngine::run(
     result.comm_steps += 1;
   };
 
-  for (std::uint64_t round = 0; !all_done; ++round) {
+  std::uint64_t round = start_round;
+  Phase phase = start_phase;
+  bool all_done = (phase == Phase::kDone);
+
+  while (!all_done) {
     EMCGM_CHECK_MSG(round < kMaxRounds,
                     "program '" << program.name() << "' exceeded "
                                 << kMaxRounds << " rounds");
-    auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
-      simulate_real_proc(r, round, o);
-    });
-    result.app_rounds += 1;
+    if (phase == Phase::kCompute) {
+      auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
+        simulate_real_proc(r, round, o);
+      });
+      result.app_rounds += 1;
 
-    bool any_done = false;
-    all_done = true;
-    for (const auto& o : outcomes) {
-      for (char d : o.done) {
-        any_done = any_done || d;
-        all_done = all_done && d;
+      bool any_done = false;
+      all_done = true;
+      for (const auto& o : outcomes) {
+        for (char d : o.done) {
+          any_done = any_done || d;
+          all_done = all_done && d;
+        }
       }
-    }
-    EMCGM_CHECK_MSG(any_done == all_done,
-                    "program '" << program.name()
-                                << "' disagreed on termination at round "
-                                << round);
-    for (auto& rp : procs_) rp->contexts->flip();
-    if (all_done) {
+      EMCGM_CHECK_MSG(any_done == all_done,
+                      "program '" << program.name()
+                                  << "' disagreed on termination at round "
+                                  << round);
+      for (auto& rp : procs_) rp->contexts->flip();
+      if (all_done) {
+        if (cfg_.checkpointing) commit(round, Phase::kDone);
+        record_step_io();
+        break;
+      }
+
+      deliver_staged(outcomes);
+      for (auto& rp : procs_) rp->messages->flip();
+      if (balanced) {
+        phase = Phase::kRegroup;
+      } else {
+        ++round;
+      }
+      if (cfg_.checkpointing) commit(round, phase);
       record_step_io();
-      break;
-    }
-
-    deliver_staged(outcomes);
-    for (auto& rp : procs_) rp->messages->flip();
-    record_step_io();
-
-    if (balanced) {
+    } else {
       auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
         regroup_real_proc(r, o);
       });
       deliver_staged(regroup);
       for (auto& rp : procs_) rp->messages->flip();
+      phase = Phase::kCompute;
+      ++round;
+      if (cfg_.checkpointing) commit(round, phase);
       record_step_io();
     }
   }

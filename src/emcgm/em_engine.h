@@ -39,6 +39,22 @@ class EmEngine final : public cgm::Engine {
       const cgm::Program& program,
       std::vector<cgm::PartitionSet> inputs) override;
 
+  /// Recover a run that threw mid-superstep (requires cfg.checkpointing):
+  /// re-reads the commit records of the last committed superstep boundary,
+  /// restores the context/message directories, and replays the run from
+  /// there to completion. Must be called with the same program that was
+  /// passed to run(); the returned outputs are bit-identical to what an
+  /// uninterrupted run would have produced. last_result() covers the
+  /// resumed portion only (the replayed supersteps count again).
+  std::vector<cgm::PartitionSet> resume(const cgm::Program& program);
+
+  /// True once run() has committed at least one superstep boundary that
+  /// resume() could restart from.
+  bool has_checkpoint() const { return commit_.valid; }
+
+  /// Superstep index of the last committed boundary (has_checkpoint() only).
+  std::uint64_t checkpoint_round() const;
+
   const cgm::RunResult& last_result() const override { return last_; }
   const cgm::RunResult& total() const override { return total_; }
   void reset_totals() override { total_ = cgm::RunResult{}; }
@@ -50,16 +66,43 @@ class EmEngine final : public cgm::Engine {
   /// Disk tracks currently materialized on one real processor (space use).
   std::uint64_t tracks_used(std::uint32_t real_proc) const;
 
+  /// Direct access to one real processor's disk subsystem (fault-injection
+  /// tests and robustness benchmarks).
+  pdm::DiskArray& disk_array(std::uint32_t real_proc);
+
+  /// Disarm every real processor's fault injector (no-op without one): the
+  /// crashed machine is "rebooted" so resume() can make progress.
+  void disarm_faults();
+
  private:
   struct RealProc;
+
+  /// Where a committed boundary resumes: the next physical superstep to run.
+  enum class Phase : std::uint32_t { kCompute = 0, kRegroup = 1, kDone = 2 };
+
+  struct Commit {
+    bool valid = false;
+    std::uint64_t seq = 0;  ///< commit count; record slot = seq % 2
+    std::uint64_t round = 0;
+    Phase phase = Phase::kCompute;
+  };
 
   std::uint32_t nlocal() const { return cfg_.v / cfg_.p; }
   std::uint32_t owner_of(std::uint32_t vproc) const {
     return vproc / nlocal();
   }
 
+  std::vector<cgm::PartitionSet> run_loop(const cgm::Program& program,
+                                          std::uint64_t start_round,
+                                          Phase start_phase,
+                                          const pdm::IoStats& io_before);
+  void commit(std::uint64_t round, Phase phase);
+  void restore_from_commit();
+
   cgm::MachineConfig cfg_;
   std::vector<std::unique_ptr<RealProc>> procs_;
+  Commit commit_;
+  std::string running_program_;  ///< name sanity check for resume()
   cgm::RunResult last_;
   cgm::RunResult total_;
 };

@@ -127,6 +127,28 @@ class StaggeredMatrixStore final : public MessageStore {
 
   void flip() override { ++step_; }
 
+  void save(WriteArchive& ar) const override {
+    ar.put<std::uint64_t>(step_);
+    ar.put_vec(lengths_[0]);
+    ar.put_vec(lengths_[1]);
+    ar.put<std::uint64_t>(freed_.size());
+    for (bool f : freed_) ar.put<std::uint8_t>(f ? 1 : 0);
+  }
+
+  void load(ReadArchive& ar) override {
+    step_ = ar.get<std::uint64_t>();
+    lengths_[0] = ar.get_vec<std::uint64_t>();
+    lengths_[1] = ar.get_vec<std::uint64_t>();
+    const std::size_t pairs = static_cast<std::size_t>(cfg_.v) * cfg_.nlocal;
+    EMCGM_CHECK_MSG(lengths_[0].size() == pairs && lengths_[1].size() == pairs,
+                    "message snapshot has wrong directory shape");
+    const auto nf = ar.get<std::uint64_t>();
+    EMCGM_CHECK(nf == freed_.size());
+    for (std::size_t i = 0; i < freed_.size(); ++i) {
+      freed_[i] = ar.get<std::uint8_t>() != 0;
+    }
+  }
+
  private:
   std::size_t lin(std::uint32_t src, std::uint32_t dloc) const {
     return static_cast<std::size_t>(src) * cfg_.nlocal + dloc;
@@ -287,6 +309,47 @@ class ChainedStore final : public MessageStore {
     Side& w = sides_[1 - active_];
     w.cursor.reset();
     for (auto& d : w.by_dst) d.clear();
+  }
+
+  void save(WriteArchive& ar) const override {
+    ar.put<std::uint8_t>(static_cast<std::uint8_t>(active_));
+    for (const Side& s : sides_) {
+      ar.put<std::uint64_t>(s.cursor.blocks_allocated());
+      ar.put<std::uint64_t>(s.by_dst.size());
+      for (const auto& entries : s.by_dst) {
+        ar.put<std::uint64_t>(entries.size());
+        for (const Entry& e : entries) {
+          ar.put<std::uint32_t>(e.src);
+          ar.put<std::uint32_t>(e.ext.start_disk);
+          ar.put<std::uint64_t>(e.ext.start_track);
+          ar.put<std::uint64_t>(e.ext.bytes);
+        }
+      }
+    }
+  }
+
+  void load(ReadArchive& ar) override {
+    active_ = ar.get<std::uint8_t>();
+    EMCGM_CHECK(active_ == 0 || active_ == 1);
+    for (Side& s : sides_) {
+      s.cursor.restore(ar.get<std::uint64_t>());
+      const auto ndst = ar.get<std::uint64_t>();
+      EMCGM_CHECK_MSG(ndst == s.by_dst.size(),
+                      "message snapshot has wrong destination count");
+      for (auto& entries : s.by_dst) {
+        entries.clear();
+        const auto n = ar.get<std::uint64_t>();
+        entries.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+          Entry e;
+          e.src = ar.get<std::uint32_t>();
+          e.ext.start_disk = ar.get<std::uint32_t>();
+          e.ext.start_track = ar.get<std::uint64_t>();
+          e.ext.bytes = ar.get<std::uint64_t>();
+          entries.push_back(e);
+        }
+      }
+    }
   }
 
  private:

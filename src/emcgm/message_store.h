@@ -29,6 +29,7 @@
 #include "cgm/message.h"
 #include "pdm/disk_array.h"
 #include "pdm/striping.h"
+#include "util/archive.h"
 
 namespace emcgm::em {
 
@@ -49,6 +50,14 @@ class MessageStore {
   /// Superstep boundary: messages written since the previous flip become
   /// readable.
   virtual void flip() = 0;
+
+  /// Serialize the store's directory state (parities, slot lengths or
+  /// extent chains) for a superstep commit record; the message bytes stay
+  /// on disk. load() restores a state saved at a superstep boundary —
+  /// including re-arming inboxes consumed by a half-finished superstep, so
+  /// recovery can replay the superstep deterministically.
+  virtual void save(WriteArchive& ar) const = 0;
+  virtual void load(ReadArchive& ar) = 0;
 };
 
 /// Construction parameters shared by both layouts.

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -49,17 +50,61 @@ std::uint64_t MemoryBackend::tracks_used(std::uint32_t disk) const {
 
 // ------------------------------------------------------------------ File --
 
+namespace {
+
+[[noreturn]] void raise_system(const char* what, const std::string& detail) {
+  throw IoError(IoErrorKind::kSystem,
+                std::string(what) + " " + detail + ": " +
+                    std::strerror(errno));
+}
+
+// pread the full range, looping on EINTR and short reads. A short read at
+// EOF ends the loop; the caller zero-fills the tail (sparse track).
+std::size_t pread_full(int fd, std::byte* buf, std::size_t n, off_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_system("pread at offset", std::to_string(off));
+    }
+    if (r == 0) break;  // EOF
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+// pwrite the full range, looping on EINTR and short writes.
+void pwrite_full(int fd, const std::byte* buf, std::size_t n, off_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, buf + done, n - done, off + done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_system("pwrite at offset", std::to_string(off));
+    }
+    EMCGM_CHECK_MSG(r > 0, "pwrite returned 0 before completing the block");
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
 FileBackend::FileBackend(const DiskGeometry& geom, std::string directory)
     : StorageBackend(geom), dir_(std::move(directory)) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);  // open() reports failures
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError(IoErrorKind::kSystem,
+                  "create_directories " + dir_ + ": " + ec.message());
+  }
   fds_.reserve(geom.num_disks);
   paths_.reserve(geom.num_disks);
   for (std::uint32_t d = 0; d < geom.num_disks; ++d) {
     std::string path = dir_ + "/disk" + std::to_string(d) + ".bin";
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-    EMCGM_CHECK_MSG(fd >= 0, "cannot open " << path << ": "
-                                            << std::strerror(errno));
+    const int fd =
+        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) raise_system("open", path);
     fds_.push_back(fd);
     paths_.push_back(std::move(path));
   }
@@ -67,8 +112,16 @@ FileBackend::FileBackend(const DiskGeometry& geom, std::string directory)
 
 FileBackend::~FileBackend() {
   for (std::size_t d = 0; d < fds_.size(); ++d) {
-    ::close(fds_[d]);
-    ::unlink(paths_[d].c_str());
+    // Destructors cannot throw; report clean-up failures instead of
+    // swallowing them.
+    if (::close(fds_[d]) != 0) {
+      std::fprintf(stderr, "emcgm: close(%s) failed: %s\n", paths_[d].c_str(),
+                   std::strerror(errno));
+    }
+    if (::unlink(paths_[d].c_str()) != 0) {
+      std::fprintf(stderr, "emcgm: unlink(%s) failed: %s\n", paths_[d].c_str(),
+                   std::strerror(errno));
+    }
   }
 }
 
@@ -77,11 +130,10 @@ void FileBackend::read_block(std::uint32_t disk, std::uint64_t track,
   EMCGM_CHECK(disk < geom_.num_disks);
   EMCGM_CHECK(out.size() == geom_.block_bytes);
   const auto off = static_cast<off_t>(track * geom_.block_bytes);
-  const ssize_t n = ::pread(fds_[disk], out.data(), out.size(), off);
-  EMCGM_CHECK_MSG(n >= 0, "pread failed: " << std::strerror(errno));
+  const std::size_t n = pread_full(fds_[disk], out.data(), out.size(), off);
   // Short read past EOF = sparse region: zero-fill the tail.
-  if (static_cast<std::size_t>(n) < out.size()) {
-    std::memset(out.data() + n, 0, out.size() - static_cast<std::size_t>(n));
+  if (n < out.size()) {
+    std::memset(out.data() + n, 0, out.size() - n);
   }
 }
 
@@ -90,9 +142,7 @@ void FileBackend::write_block(std::uint32_t disk, std::uint64_t track,
   EMCGM_CHECK(disk < geom_.num_disks);
   EMCGM_CHECK(data.size() == geom_.block_bytes);
   const auto off = static_cast<off_t>(track * geom_.block_bytes);
-  const ssize_t n = ::pwrite(fds_[disk], data.data(), data.size(), off);
-  EMCGM_CHECK_MSG(n == static_cast<ssize_t>(data.size()),
-                  "pwrite failed: " << std::strerror(errno));
+  pwrite_full(fds_[disk], data.data(), data.size(), off);
 }
 
 std::uint64_t FileBackend::tracks_used(std::uint32_t disk) const {

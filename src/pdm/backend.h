@@ -36,6 +36,11 @@ class StorageBackend {
   /// Highest materialized track count per disk (capacity usage reporting).
   virtual std::uint64_t tracks_used(std::uint32_t disk) const = 0;
 
+  /// Called by DiskArray once per parallel I/O operation, before its block
+  /// transfers. Default: no-op. FaultInjectingBackend counts these to model
+  /// fail-stop crashes "after K parallel I/Os".
+  virtual void note_parallel_op() {}
+
   const DiskGeometry& geometry() const { return geom_; }
 
  protected:

@@ -1,12 +1,29 @@
 #include "pdm/disk_array.h"
 
+#include <chrono>
+#include <thread>
+
 namespace emcgm::pdm {
 
-DiskArray::DiskArray(std::unique_ptr<StorageBackend> backend)
-    : backend_(std::move(backend)) {
+DiskArray::DiskArray(std::unique_ptr<StorageBackend> backend,
+                     DiskArrayOptions opts)
+    : backend_(std::move(backend)),
+      opts_(std::move(opts)),
+      geom_(backend_ ? backend_->geometry() : DiskGeometry{}) {
   EMCGM_CHECK(backend_ != nullptr);
   EMCGM_CHECK_MSG(num_disks() <= 64,
                   "disk-mask validation supports up to 64 disks");
+  EMCGM_CHECK_MSG(opts_.retry.max_attempts >= 1,
+                  "retry policy needs at least one attempt");
+  if (opts_.checksums) {
+    EMCGM_CHECK_MSG(geom_.block_bytes > kEnvelopeBytes + 8,
+                    "physical block of " << geom_.block_bytes
+                                         << " bytes too small for a "
+                                         << kEnvelopeBytes
+                                         << "-byte checksum envelope");
+    geom_.block_bytes -= kEnvelopeBytes;  // expose the logical view
+    scratch_.resize(backend_->geometry().block_bytes);
+  }
 }
 
 namespace {
@@ -29,15 +46,75 @@ std::uint64_t occupancy_mask(std::span<const Slot> slots, std::uint32_t D) {
 
 }  // namespace
 
+void DiskArray::backoff(std::uint32_t retry) const {
+  const std::uint64_t us = opts_.retry.backoff_us(retry);
+  if (opts_.retry.sleep) {
+    opts_.retry.sleep(us);
+  } else if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+void DiskArray::read_one(const ReadSlot& s) {
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      if (!opts_.checksums) {
+        backend_->read_block(s.addr.disk, s.addr.track, s.out);
+      } else {
+        backend_->read_block(s.addr.disk, s.addr.track, scratch_);
+        unseal_block(s.addr.disk, s.addr.track, scratch_, s.out);
+      }
+      return;
+    } catch (const IoError& e) {
+      if (e.kind() == IoErrorKind::kCorruption) {
+        stats_.corruptions += 1;
+        throw;
+      }
+      if (e.kind() != IoErrorKind::kTransient) throw;
+      if (attempt >= opts_.retry.max_attempts) {
+        throw IoError(IoErrorKind::kExhausted,
+                      std::string("read gave up after ") +
+                          std::to_string(attempt) + " attempts: " + e.what());
+      }
+      stats_.retries += 1;
+      backoff(attempt);
+    }
+  }
+}
+
+void DiskArray::write_one(const WriteSlot& s) {
+  std::span<const std::byte> phys = s.data;
+  if (opts_.checksums) {
+    seal_block(s.addr.disk, s.addr.track, s.data, scratch_);
+    phys = scratch_;
+  }
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    try {
+      backend_->write_block(s.addr.disk, s.addr.track, phys);
+      return;
+    } catch (const IoError& e) {
+      if (e.kind() != IoErrorKind::kTransient) throw;
+      if (attempt >= opts_.retry.max_attempts) {
+        throw IoError(IoErrorKind::kExhausted,
+                      std::string("write gave up after ") +
+                          std::to_string(attempt) + " attempts: " + e.what());
+      }
+      stats_.retries += 1;
+      backoff(attempt);
+    }
+  }
+}
+
 void DiskArray::parallel_read(std::span<const ReadSlot> slots) {
   EMCGM_CHECK_MSG(!slots.empty(), "empty parallel read");
   EMCGM_CHECK_MSG(slots.size() <= num_disks(),
                   "parallel read of " << slots.size() << " blocks on "
                                       << num_disks() << " disks");
   (void)occupancy_mask(slots, num_disks());
+  backend_->note_parallel_op();
   for (const auto& s : slots) {
     EMCGM_CHECK(s.out.size() == block_bytes());
-    backend_->read_block(s.addr.disk, s.addr.track, s.out);
+    read_one(s);
   }
   stats_.read_ops += 1;
   stats_.blocks_read += slots.size();
@@ -50,9 +127,10 @@ void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
                   "parallel write of " << slots.size() << " blocks on "
                                        << num_disks() << " disks");
   (void)occupancy_mask(slots, num_disks());
+  backend_->note_parallel_op();
   for (const auto& s : slots) {
     EMCGM_CHECK(s.data.size() == block_bytes());
-    backend_->write_block(s.addr.disk, s.addr.track, s.data);
+    write_one(s);
   }
   stats_.write_ops += 1;
   stats_.blocks_written += slots.size();
@@ -65,6 +143,21 @@ std::uint64_t DiskArray::tracks_used() const {
     total += backend_->tracks_used(d);
   }
   return total;
+}
+
+std::unique_ptr<DiskArray> make_disk_array(BackendKind kind,
+                                           const DiskGeometry& logical,
+                                           const std::string& file_dir,
+                                           const DiskArrayOptions& opts,
+                                           const FaultPlan& plan) {
+  auto base =
+      make_backend(kind, physical_geometry(logical, opts.checksums), file_dir);
+  std::unique_ptr<StorageBackend> backend = std::move(base);
+  if (plan.enabled()) {
+    backend =
+        std::make_unique<FaultInjectingBackend>(std::move(backend), plan);
+  }
+  return std::make_unique<DiskArray>(std::move(backend), opts);
 }
 
 }  // namespace emcgm::pdm

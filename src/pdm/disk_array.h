@@ -11,9 +11,12 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pdm/backend.h"
+#include "pdm/checksum.h"
+#include "pdm/fault.h"
 #include "pdm/geometry.h"
 #include "pdm/io_stats.h"
 
@@ -31,14 +34,29 @@ struct WriteSlot {
   std::span<const std::byte> data;  ///< exactly block_bytes
 };
 
+/// Fault-tolerance configuration of one disk array.
+struct DiskArrayOptions {
+  /// Wrap every physical block in a CRC32C envelope (checksum.h) and verify
+  /// it on read; corruption surfaces as IoError(kCorruption). The backend
+  /// must be built with physical_geometry(logical, true).
+  bool checksums = false;
+  /// Retry schedule for IoError(kTransient) block faults.
+  RetryPolicy retry{};
+};
+
 class DiskArray {
  public:
-  explicit DiskArray(std::unique_ptr<StorageBackend> backend);
+  /// `backend` carries the *physical* geometry: when opts.checksums is on,
+  /// its block size must be the logical block size + kEnvelopeBytes (use
+  /// physical_geometry()); geometry()/block_bytes() expose the logical view
+  /// to the layers above.
+  explicit DiskArray(std::unique_ptr<StorageBackend> backend,
+                     DiskArrayOptions opts = {});
 
   DiskArray(const DiskArray&) = delete;
   DiskArray& operator=(const DiskArray&) = delete;
 
-  const DiskGeometry& geometry() const { return backend_->geometry(); }
+  const DiskGeometry& geometry() const { return geom_; }
   std::uint32_t num_disks() const { return geometry().num_disks; }
   std::size_t block_bytes() const { return geometry().block_bytes; }
 
@@ -58,13 +76,35 @@ class DiskArray {
   std::uint64_t tracks_used() const;
 
   StorageBackend& backend() { return *backend_; }
+  const DiskArrayOptions& options() const { return opts_; }
+
+  /// The fault injector wrapping the backend, or nullptr if none.
+  FaultInjectingBackend* fault_injector() {
+    return dynamic_cast<FaultInjectingBackend*>(backend_.get());
+  }
 
  private:
   void validate_batch_disks(std::size_t count,
                             const std::uint64_t disk_mask) const;
+  void read_one(const ReadSlot& slot);
+  void write_one(const WriteSlot& slot);
+  void backoff(std::uint32_t retry) const;
 
   std::unique_ptr<StorageBackend> backend_;
+  DiskArrayOptions opts_;
+  DiskGeometry geom_;  ///< logical geometry (envelope stripped)
+  std::vector<std::byte> scratch_;  ///< physical-block staging (checksums)
   IoStats stats_;
 };
+
+/// Build a DiskArray with the whole fault-tolerance stack in one call: a
+/// base backend with the right physical geometry, optionally wrapped in a
+/// FaultInjectingBackend, under the given checksum/retry options. `logical`
+/// is the geometry the layers above will see.
+std::unique_ptr<DiskArray> make_disk_array(BackendKind kind,
+                                           const DiskGeometry& logical,
+                                           const std::string& file_dir,
+                                           const DiskArrayOptions& opts = {},
+                                           const FaultPlan& plan = {});
 
 }  // namespace emcgm::pdm

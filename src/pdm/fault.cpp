@@ -1,0 +1,127 @@
+#include "pdm/fault.h"
+
+#include <cstring>
+
+namespace emcgm::pdm {
+
+namespace {
+
+// SplitMix64: deterministic per-op coin independent of call history.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double unit_coin(std::uint64_t seed, std::uint64_t stream,
+                 std::uint64_t index) {
+  const std::uint64_t r = splitmix64(seed ^ splitmix64(stream ^ index));
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<StorageBackend> inner, FaultPlan plan)
+    : StorageBackend(inner->geometry()),
+      inner_(std::move(inner)),
+      plan_(plan) {}
+
+bool FaultInjectingBackend::fire_transient(std::uint64_t at, double prob,
+                                           std::uint64_t index) {
+  if (at != 0 && index >= at && index < at + plan_.transient_burst) {
+    return true;
+  }
+  return prob > 0 && unit_coin(plan_.seed, at ^ 0x7472616E73ULL, index) < prob;
+}
+
+void FaultInjectingBackend::note_parallel_op() {
+  inner_->note_parallel_op();
+  if (!armed_) return;
+  ++parallel_ops_;
+  if (crashed_ ||
+      (plan_.crash_after_ops != 0 && parallel_ops_ > plan_.crash_after_ops)) {
+    crashed_ = true;
+    ++counters_.crashes;
+    std::ostringstream os;
+    os << "fail-stop crash injected after " << plan_.crash_after_ops
+       << " parallel I/Os";
+    throw IoError(IoErrorKind::kCrash, os.str());
+  }
+}
+
+void FaultInjectingBackend::read_block(std::uint32_t disk, std::uint64_t track,
+                                       std::span<std::byte> out) {
+  if (armed_) {
+    if (crashed_) {
+      ++counters_.crashes;
+      throw IoError(IoErrorKind::kCrash, "machine is down (fail-stop)");
+    }
+    const std::uint64_t index = ++reads_;
+    if (read_burst_left_ > 0 ||
+        fire_transient(plan_.transient_read_at, plan_.transient_read_prob,
+                       index)) {
+      if (read_burst_left_ == 0) read_burst_left_ = plan_.transient_burst;
+      --read_burst_left_;
+      ++counters_.transient_reads;
+      std::ostringstream os;
+      os << "injected transient read fault (block read #" << index << ")";
+      throw IoError(IoErrorKind::kTransient, os.str());
+    }
+  }
+  inner_->read_block(disk, track, out);
+}
+
+void FaultInjectingBackend::write_block(std::uint32_t disk,
+                                        std::uint64_t track,
+                                        std::span<const std::byte> data) {
+  if (!armed_) {
+    inner_->write_block(disk, track, data);
+    return;
+  }
+  if (crashed_) {
+    ++counters_.crashes;
+    throw IoError(IoErrorKind::kCrash, "machine is down (fail-stop)");
+  }
+  const std::uint64_t index = ++writes_;
+  if (write_burst_left_ > 0 ||
+      fire_transient(plan_.transient_write_at, plan_.transient_write_prob,
+                     index)) {
+    if (write_burst_left_ == 0) write_burst_left_ = plan_.transient_burst;
+    --write_burst_left_;
+    ++counters_.transient_writes;
+    std::ostringstream os;
+    os << "injected transient write fault (block write #" << index << ")";
+    throw IoError(IoErrorKind::kTransient, os.str());
+  }
+  if (plan_.torn_write_at != 0 && index == plan_.torn_write_at) {
+    // Silent torn write: only a prefix reaches the media; the tail keeps the
+    // track's previous contents (zero if never written). Reported as success.
+    ++counters_.torn_writes;
+    std::vector<std::byte> torn(data.begin(), data.end());
+    const std::size_t keep = torn.size() / 2;
+    std::vector<std::byte> old(torn.size());
+    inner_->read_block(disk, track, old);
+    std::memcpy(torn.data() + keep, old.data() + keep, torn.size() - keep);
+    inner_->write_block(disk, track, torn);
+    return;
+  }
+  if (plan_.bitflip_write_at != 0 && index == plan_.bitflip_write_at) {
+    // Silent bit rot: one byte of the block is corrupted at rest.
+    ++counters_.bitflips;
+    std::vector<std::byte> flipped(data.begin(), data.end());
+    const std::size_t pos =
+        splitmix64(plan_.seed ^ index) % (flipped.empty() ? 1 : flipped.size());
+    flipped[pos] ^= std::byte{0x40};
+    inner_->write_block(disk, track, flipped);
+    return;
+  }
+  inner_->write_block(disk, track, data);
+}
+
+std::uint64_t FaultInjectingBackend::tracks_used(std::uint32_t disk) const {
+  return inner_->tracks_used(disk);
+}
+
+}  // namespace emcgm::pdm

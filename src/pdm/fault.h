@@ -1,0 +1,124 @@
+// Deterministic fault injection and retry policy for the PDM layer.
+//
+// FaultInjectingBackend decorates any StorageBackend and injects faults
+// according to a seeded FaultPlan, reproducibly: the same plan over the same
+// I/O sequence fires the same faults. Four fault classes:
+//
+//   * transient errors — IoError(kTransient) on selected block reads/writes;
+//     the operation did not happen and a retry may succeed (bursts model
+//     faults that persist across several attempts),
+//   * torn writes     — silently persist only a prefix of the block; only a
+//     checksumming reader notices, later,
+//   * bit flips       — silently corrupt one payload byte at rest; ditto,
+//   * fail-stop crash — after K parallel I/O operations every further
+//     operation throws IoError(kCrash), modeling a machine that died
+//     mid-run (recover via EmEngine::resume(); tests disarm() the injector
+//     before resuming).
+//
+// RetryPolicy is how DiskArray reacts to transient faults: bounded attempts
+// with exponential backoff through an injectable sleep hook, so tests can
+// observe the backoff schedule without waiting it out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "pdm/backend.h"
+#include "util/error.h"
+
+namespace emcgm::pdm {
+
+/// Deterministic fault schedule. Block-op triggers fire on the 1-based index
+/// of the backend-level block read/write they name (retries re-count: a
+/// retried block read is a new read op). 0 disables a trigger.
+struct FaultPlan {
+  std::uint64_t seed = 1;  ///< seeds the probabilistic coins below
+
+  std::uint64_t transient_read_at = 0;   ///< Nth block read fails transiently
+  std::uint64_t transient_write_at = 0;  ///< Nth block write fails transiently
+  std::uint32_t transient_burst = 1;     ///< consecutive failures per trigger
+  double transient_read_prob = 0.0;      ///< per-read seeded coin in [0,1)
+  double transient_write_prob = 0.0;     ///< per-write seeded coin in [0,1)
+
+  std::uint64_t torn_write_at = 0;    ///< Nth block write persists a prefix
+  std::uint64_t bitflip_write_at = 0; ///< Nth block write flips one byte
+
+  std::uint64_t crash_after_ops = 0;  ///< fail-stop after K *parallel* I/Os
+
+  bool enabled() const {
+    return transient_read_at || transient_write_at || torn_write_at ||
+           bitflip_write_at || crash_after_ops || transient_read_prob > 0 ||
+           transient_write_prob > 0;
+  }
+};
+
+/// What the injector actually did — assertable in tests.
+struct FaultCounters {
+  std::uint64_t transient_reads = 0;
+  std::uint64_t transient_writes = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t bitflips = 0;
+  std::uint64_t crashes = 0;  ///< ops refused after the fail-stop point
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+};
+
+class FaultInjectingBackend final : public StorageBackend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<StorageBackend> inner, FaultPlan plan);
+
+  void read_block(std::uint32_t disk, std::uint64_t track,
+                  std::span<std::byte> out) override;
+  void write_block(std::uint32_t disk, std::uint64_t track,
+                   std::span<const std::byte> data) override;
+  std::uint64_t tracks_used(std::uint32_t disk) const override;
+  void note_parallel_op() override;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// Stop injecting any further faults (the crashed "machine" is rebooted);
+  /// already-persisted silent corruption of course remains on disk.
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  StorageBackend& inner() { return *inner_; }
+
+ private:
+  bool fire_transient(std::uint64_t at, double prob, std::uint64_t index);
+
+  std::unique_ptr<StorageBackend> inner_;
+  FaultPlan plan_;
+  FaultCounters counters_;
+  bool armed_ = true;
+  bool crashed_ = false;
+  std::uint64_t reads_ = 0;         ///< block reads seen
+  std::uint64_t writes_ = 0;        ///< block writes seen
+  std::uint64_t parallel_ops_ = 0;  ///< parallel I/O ops seen
+  std::uint32_t read_burst_left_ = 0;
+  std::uint32_t write_burst_left_ = 0;
+};
+
+/// Bounded-retry policy with exponential backoff for transient faults.
+/// Applied per block inside DiskArray::parallel_read/parallel_write.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 1;      ///< total attempts (1 = no retry)
+  std::uint64_t base_backoff_us = 0;   ///< delay before the first retry
+  double backoff_multiplier = 2.0;     ///< growth per further retry
+  std::uint64_t max_backoff_us = 100000;  ///< backoff ceiling
+
+  /// Injectable clock: called with the computed delay before each retry.
+  /// Null = sleep for real (std::this_thread) when the delay is non-zero.
+  std::function<void(std::uint64_t delay_us)> sleep;
+
+  /// Backoff before retry number `retry` (1-based), in microseconds.
+  std::uint64_t backoff_us(std::uint32_t retry) const {
+    double d = static_cast<double>(base_backoff_us);
+    for (std::uint32_t i = 1; i < retry; ++i) d *= backoff_multiplier;
+    const double cap = static_cast<double>(max_backoff_us);
+    return static_cast<std::uint64_t>(d < cap ? d : cap);
+  }
+};
+
+}  // namespace emcgm::pdm

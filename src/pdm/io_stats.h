@@ -12,6 +12,8 @@ struct IoStats {
   std::uint64_t blocks_read = 0;     ///< total blocks moved by reads
   std::uint64_t blocks_written = 0;  ///< total blocks moved by writes
   std::uint64_t full_stripe_ops = 0; ///< ops that used all D disks
+  std::uint64_t retries = 0;         ///< transient-fault block retries
+  std::uint64_t corruptions = 0;     ///< checksum/tag mismatches detected
 
   std::uint64_t total_ops() const { return read_ops + write_ops; }
   std::uint64_t total_blocks() const { return blocks_read + blocks_written; }
@@ -30,6 +32,8 @@ struct IoStats {
     blocks_read += o.blocks_read;
     blocks_written += o.blocks_written;
     full_stripe_ops += o.full_stripe_ops;
+    retries += o.retries;
+    corruptions += o.corruptions;
     return *this;
   }
 
@@ -39,6 +43,8 @@ struct IoStats {
     blocks_read -= o.blocks_read;
     blocks_written -= o.blocks_written;
     full_stripe_ops -= o.full_stripe_ops;
+    retries -= o.retries;
+    corruptions -= o.corruptions;
     return *this;
   }
 

@@ -105,6 +105,10 @@ class StripeCursor {
   void reset() { next_block_ = 0; }
   std::uint64_t blocks_allocated() const { return next_block_; }
 
+  /// Rewind/replay support for checkpoint recovery: restore the cursor to a
+  /// previously observed blocks_allocated() position.
+  void restore(std::uint64_t blocks) { next_block_ = blocks; }
+
  private:
   std::uint32_t D_;
   std::uint64_t next_block_ = 0;

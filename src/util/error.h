@@ -18,6 +18,49 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Classification of storage-layer failures. The retry policy keys off the
+/// kind: only kTransient faults are retriable; everything else must surface
+/// to the caller (and, with checkpointing enabled, is recoverable only by
+/// EmEngine::resume()).
+enum class IoErrorKind {
+  kTransient,   ///< device hiccup; an immediate retry may succeed
+  kCorruption,  ///< checksum or address-tag mismatch on read (torn write,
+                ///< bit rot, misdirected block) — the data is wrong
+  kCrash,       ///< injected fail-stop fault: the machine "died" mid-run
+  kExhausted,   ///< a transient fault persisted past the retry budget
+  kSystem,      ///< unrecoverable OS-level failure (open/pread/pwrite/...)
+};
+
+inline const char* to_string(IoErrorKind k) {
+  switch (k) {
+    case IoErrorKind::kTransient:
+      return "transient";
+    case IoErrorKind::kCorruption:
+      return "corruption";
+    case IoErrorKind::kCrash:
+      return "crash";
+    case IoErrorKind::kExhausted:
+      return "retries-exhausted";
+    case IoErrorKind::kSystem:
+      return "system";
+  }
+  return "unknown";
+}
+
+/// Typed I/O failure raised by backends, the fault injector, and the
+/// checksum layer. Catching emcgm::Error still catches these.
+class IoError : public Error {
+ public:
+  IoError(IoErrorKind kind, const std::string& what)
+      : Error(std::string("io error [") + to_string(kind) + "]: " + what),
+        kind_(kind) {}
+
+  IoErrorKind kind() const { return kind_; }
+
+ private:
+  IoErrorKind kind_;
+};
+
 namespace detail {
 
 [[noreturn]] inline void raise(const char* expr, const char* file, int line,
