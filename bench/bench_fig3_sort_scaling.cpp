@@ -13,7 +13,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = json_arg(argc, argv);
   std::printf(
       "Fig. 3 reproduction: CGM sample sort, native CGM machine vs EM-CGM"
       " simulation\n"
@@ -55,5 +56,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper Fig. 3): both columns grow linearly in N"
       " (flat s/item), and ops/(N/DB) stays constant — no log factor.\n");
+  write_json_report(json_path, {{"fig3_sort_scaling", t}});
   return 0;
 }

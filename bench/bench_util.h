@@ -1,9 +1,14 @@
-// Shared helpers for the figure-reproduction benchmarks: machine builders
-// and a fixed-width table printer that mirrors the paper's presentation.
+// Shared helpers for the figure-reproduction benchmarks: machine builders,
+// a fixed-width table printer that mirrors the paper's presentation, and a
+// --json <path> flag so CI and plotting scripts consume the same numbers
+// the terminal shows.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cgm/machine.h"
@@ -61,10 +66,88 @@ class Table {
     line();
   }
 
+  /// Append this table to `f` as one JSON object {"name": ..., "rows":
+  /// [{header: cell, ...}, ...]}. Cells are emitted as strings — they were
+  /// formatted for humans, and a consumer that wants numbers can parse them
+  /// without this header guessing types.
+  void write_json(std::FILE* f, const std::string& name) const {
+    auto escape = [](const std::string& s) {
+      std::string out;
+      out.reserve(s.size());
+      for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += ch;
+        }
+      }
+      return out;
+    };
+    std::fprintf(f, "{\"name\": \"%s\", \"rows\": [", escape(name).c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, r == 0 ? "\n" : ",\n");
+      std::fprintf(f, "  {");
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell =
+            c < rows_[r].size() ? rows_[r][c] : std::string();
+        std::fprintf(f, "%s\"%s\": \"%s\"", c == 0 ? "" : ", ",
+                     escape(headers_[c]).c_str(), escape(cell).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Parse `--json <path>` (or `--json=<path>`) from argv. Returns the empty
+/// string when the flag is absent; exits with a usage message when the flag
+/// is malformed.
+inline std::string json_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+/// Write every table of a benchmark run to `path` as a JSON array, one
+/// object per table. No-op when path is empty.
+inline void write_json_report(const std::string& path,
+                              const std::vector<std::pair<std::string, Table>>&
+                                  tables) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (i) std::fprintf(f, ",\n");
+    tables[i].second.write_json(f, tables[i].first);
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 inline std::string fmt(double x, int prec = 2) {
   char buf[64];

@@ -24,6 +24,14 @@ struct StepComm {
   std::uint64_t min_msg_bytes = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_msg_bytes = 0;
 
+  // Wire-level cost of realizing this h-relation on the simulated network
+  // (0 when messages are handed over by fiat, i.e. net disabled). `bytes`
+  // above stays the *delivered payload* — a lossy link that forces three
+  // transmissions of a message realizes the same h-relation; the tax lands
+  // here.
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t retransmissions = 0;
+
   /// h of this superstep: max over procs of data sent or received.
   std::uint64_t h_bytes() const {
     return max_sent > max_recv ? max_sent : max_recv;

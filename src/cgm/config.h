@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "net/net_fault.h"
 #include "pdm/backend.h"
 #include "pdm/fault.h"
 #include "pdm/geometry.h"
@@ -75,6 +77,14 @@ struct MachineConfig {
   /// Deterministic fault injection applied to every real processor's disks
   /// (tests and robustness benchmarks; default: no faults).
   pdm::FaultPlan fault{};
+  /// Per-real-processor disk fault plans. Empty = every processor uses
+  /// `fault`; otherwise must have exactly p entries. This is how a test
+  /// kills *one* machine's disks mid-superstep without touching the others.
+  std::vector<pdm::FaultPlan> fault_per_proc{};
+  /// Simulated-network configuration (EM engine, p > 1): framed checksummed
+  /// packets over fallible links with reliable delivery, plus optional node
+  /// fail-over from the last committed checkpoint.
+  net::NetConfig net{};
 
   void validate() const {
     EMCGM_CHECK_MSG(v >= 1, "need at least one virtual processor");
@@ -87,6 +97,17 @@ struct MachineConfig {
                     " overwrite the inbox being replayed)");
     EMCGM_CHECK_MSG(retry.max_attempts >= 1,
                     "retry policy needs at least one attempt");
+    EMCGM_CHECK_MSG(fault_per_proc.empty() || fault_per_proc.size() == p,
+                    "fault_per_proc must be empty or have exactly p entries");
+    EMCGM_CHECK_MSG(!net.failover || net.enabled,
+                    "net.failover requires net.enabled");
+    EMCGM_CHECK_MSG(!net.failover || checkpointing,
+                    "net.failover re-assigns work from the last committed"
+                    " checkpoint; enable checkpointing");
+    EMCGM_CHECK_MSG(net.retry.max_attempts >= 1,
+                    "network retry policy needs at least one attempt");
+    EMCGM_CHECK_MSG(!net.enabled || net.mtu_bytes > 0,
+                    "network MTU must be positive");
     disk.validate();
   }
 };

@@ -13,6 +13,7 @@
 #include "cgm/config.h"
 #include "cgm/message.h"
 #include "cgm/program.h"
+#include "net/net_stats.h"
 #include "pdm/io_stats.h"
 
 namespace emcgm::cgm {
@@ -32,6 +33,12 @@ struct RunResult {
   /// I/O per physical superstep (EM engine; the final entry covers output
   /// collection). Sums to `io`.
   std::vector<pdm::IoStats> io_per_step;
+  /// Simulated-network wire activity (EM engine with cfg.net.enabled).
+  net::NetStats net;
+  /// Node fail-over events absorbed during the run (EM engine with
+  /// cfg.net.failover): each one re-assigned a dead processor's virtual
+  /// processors to survivors and replayed from the last commit.
+  std::uint64_t failovers = 0;
   double wall_s = 0.0;
 
   RunResult& operator+=(const RunResult& o) {
@@ -41,6 +48,8 @@ struct RunResult {
     io += o.io;
     io_per_step.insert(io_per_step.end(), o.io_per_step.begin(),
                        o.io_per_step.end());
+    net += o.net;
+    failovers += o.failovers;
     wall_s += o.wall_s;
     return *this;
   }

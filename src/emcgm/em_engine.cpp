@@ -4,6 +4,7 @@
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <thread>
 
@@ -18,10 +19,33 @@ namespace emcgm::em {
 namespace {
 
 constexpr std::uint64_t kMaxRounds = 1u << 20;
+constexpr std::uint32_t kNoHost = 0xFFFFFFFF;
 
-// Commit-record framing (superstep checkpointing).
+// Commit-record framing (superstep checkpointing). Version 2 added the
+// ownership map (group_host / alive) so a committed boundary records who was
+// executing each store group when it was taken.
 constexpr std::uint32_t kCkptMagic = 0x454D4B50;  // "EMKP"
-constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kCkptVersion = 2;
+
+// Internal control flow only (never escapes this translation unit): one or
+// more real processors were found dead — by a fail-stop crash of their own
+// disks, an exhausted network link, or the heartbeat detector. The superstep
+// loop catches it and runs the fail-over procedure (or rethrows `cause` when
+// fail-over cannot help).
+struct DeadProcsError {
+  std::vector<std::uint32_t> procs;
+  std::exception_ptr cause;
+};
+
+bool is_crash(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const IoError& io) {
+    return io.kind() == IoErrorKind::kCrash;
+  } catch (...) {
+    return false;
+  }
+}
 
 // Serialized context layout: inputs (round 0 only), program state, outputs.
 std::vector<std::byte> pack_context(
@@ -92,7 +116,10 @@ struct EmEngine::RealProc {
     pdm::DiskArrayOptions opts;
     opts.checksums = cfg.checksums;
     opts.retry = cfg.retry;
-    disks = pdm::make_disk_array(cfg.backend, cfg.disk, dir, opts, cfg.fault);
+    const pdm::FaultPlan& plan = cfg.fault_per_proc.empty()
+                                     ? cfg.fault
+                                     : cfg.fault_per_proc[index];
+    disks = pdm::make_disk_array(cfg.backend, cfg.disk, dir, opts, plan);
     ckpt[0].emplace(space, cfg.disk.num_disks);
     ckpt[1].emplace(space, cfg.disk.num_disks);
   }
@@ -108,6 +135,9 @@ EmEngine::EmEngine(cgm::MachineConfig cfg) : cfg_(std::move(cfg)) {
   for (std::uint32_t r = 0; r < cfg_.p; ++r) {
     procs_.push_back(std::make_unique<RealProc>(cfg_, r));
   }
+  group_host_.resize(cfg_.p);
+  std::iota(group_host_.begin(), group_host_.end(), 0u);
+  alive_.assign(cfg_.p, 1);
 }
 
 EmEngine::~EmEngine() = default;
@@ -133,6 +163,16 @@ void EmEngine::disarm_faults() {
   }
 }
 
+std::uint32_t EmEngine::group_host(std::uint32_t g) const {
+  EMCGM_CHECK(g < cfg_.p);
+  return group_host_[g];
+}
+
+bool EmEngine::alive(std::uint32_t real_proc) const {
+  EMCGM_CHECK(real_proc < cfg_.p);
+  return alive_[real_proc] != 0;
+}
+
 std::uint64_t EmEngine::checkpoint_round() const {
   EMCGM_CHECK_MSG(commit_.valid, "no committed checkpoint");
   return commit_.round;
@@ -143,22 +183,48 @@ std::uint64_t EmEngine::checkpoint_round() const {
 void EmEngine::commit(std::uint64_t round, Phase phase) {
   const std::uint64_t seq = commit_.seq + 1;
   const int slot = static_cast<int>(seq % 2);
-  for (auto& rp : procs_) {
-    WriteArchive ar;
-    ar.put<std::uint32_t>(kCkptMagic);
-    ar.put<std::uint32_t>(kCkptVersion);
-    ar.put<std::uint64_t>(seq);
-    ar.put<std::uint64_t>(round);
-    ar.put<std::uint32_t>(static_cast<std::uint32_t>(phase));
-    rp->contexts->save(ar);
-    rp->messages->save(ar);
-    ar.put<std::uint32_t>(pdm::crc32c(ar.buffer()));
-    auto blob = ar.take();
+  // Every store group commits — including those of a dead machine, whose
+  // disks survive it (remounted by the adopting survivor). A fail-stop crash
+  // of one machine's disks must not abort the others' records: collect the
+  // casualties and let the fail-over path deal with them. commit_ is only
+  // advanced when every record landed, so a partial commit leaves the
+  // previous boundary (in the other slot) authoritative.
+  std::vector<std::uint32_t> crashed;
+  std::exception_ptr cause;
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    auto& rp = *procs_[g];
+    try {
+      WriteArchive ar;
+      ar.put<std::uint32_t>(kCkptMagic);
+      ar.put<std::uint32_t>(kCkptVersion);
+      ar.put<std::uint64_t>(seq);
+      ar.put<std::uint64_t>(round);
+      ar.put<std::uint32_t>(static_cast<std::uint32_t>(phase));
+      for (std::uint32_t g2 = 0; g2 < cfg_.p; ++g2) {
+        ar.put<std::uint32_t>(group_host_[g2]);
+      }
+      for (std::uint32_t q = 0; q < cfg_.p; ++q) {
+        ar.put<std::uint32_t>(alive_[q] ? 1 : 0);
+      }
+      rp.contexts->save(ar);
+      rp.messages->save(ar);
+      ar.put<std::uint32_t>(pdm::crc32c(ar.buffer()));
+      auto blob = ar.take();
 
-    auto& ck = *rp->ckpt[slot];
-    ck.cursor.reset();
-    ck.extent = ck.cursor.alloc(blob.size(), rp->disks->block_bytes());
-    pdm::write_striped(*rp->disks, ck.tracks, ck.extent, blob);
+      auto& ck = *rp.ckpt[slot];
+      ck.cursor.reset();
+      ck.extent = ck.cursor.alloc(blob.size(), rp.disks->block_bytes());
+      pdm::write_striped(*rp.disks, ck.tracks, ck.extent, blob);
+      rp.disks->sync();  // a boundary is committed only once it is durable
+    } catch (const IoError& e) {
+      if (e.kind() != IoErrorKind::kCrash) throw;
+      crashed.push_back(g);
+      if (!cause) cause = std::current_exception();
+    }
+  }
+  if (!crashed.empty()) {
+    if (cfg_.net.failover) throw DeadProcsError{std::move(crashed), cause};
+    std::rethrow_exception(cause);
   }
   commit_ = Commit{true, seq, round, phase};
 }
@@ -195,10 +261,78 @@ void EmEngine::restore_from_commit() {
     EMCGM_CHECK_MSG(seq == commit_.seq && round == commit_.round &&
                         phase == static_cast<std::uint32_t>(commit_.phase),
                     "commit record does not match the in-memory commit mark");
+    // Ownership map (v2): who hosted each store group at this boundary. The
+    // in-memory map is authoritative — a fail-over re-assigns hosts *before*
+    // restoring, and the restore must not undo that — so the recorded map is
+    // only validated, not applied.
+    for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+      const auto host = ar.get<std::uint32_t>();
+      EMCGM_CHECK_MSG(host < cfg_.p, "commit record names a bad group host");
+    }
+    for (std::uint32_t q = 0; q < cfg_.p; ++q) {
+      const auto a = ar.get<std::uint32_t>();
+      EMCGM_CHECK_MSG(a <= 1, "commit record has a bad liveness flag");
+    }
     rp->contexts->load(ar);
     rp->messages->load(ar);
     EMCGM_CHECK_MSG(ar.exhausted(), "commit record has trailing bytes");
   }
+}
+
+// ------------------------------------------------------------ fail-over ---
+
+void EmEngine::failover(const std::vector<std::uint32_t>& dead_procs,
+                        std::exception_ptr cause, cgm::RunResult& result) {
+  auto unrecoverable = [&](const char* why) {
+    if (cause) std::rethrow_exception(cause);
+    throw Error(std::string("fail-over impossible: ") + why);
+  };
+  if (!cfg_.net.failover || !net_) unrecoverable("fail-over is disabled");
+  if (!commit_.valid) {
+    unrecoverable("a real processor died before the first committed boundary");
+  }
+
+  bool any_new = false;
+  for (std::uint32_t q : dead_procs) {
+    EMCGM_CHECK(q < cfg_.p);
+    if (!alive_[q]) continue;
+    any_new = true;
+    alive_[q] = 0;
+    net_->mark_dead(q);
+    // The machine is gone but its disks survive; the adopting survivor
+    // remounts them, which ends the dead machine's injected fault schedule.
+    if (auto* f = procs_[q]->disks->fault_injector()) f->disarm();
+  }
+  if (!any_new) unrecoverable("declared-dead processors were already dead");
+
+  std::uint32_t live = 0;
+  for (char a : alive_) live += a ? 1 : 0;
+  if (live == 0) unrecoverable("no surviving real processor");
+
+  // Re-assign orphaned store groups to the least-loaded survivors (ties to
+  // the lowest id — deterministic, so two runs with the same fault schedule
+  // degrade identically).
+  std::vector<std::uint32_t> load(cfg_.p, 0);
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    if (alive_[group_host_[g]]) ++load[group_host_[g]];
+  }
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    if (alive_[group_host_[g]]) continue;
+    std::uint32_t best = kNoHost;
+    for (std::uint32_t h = 0; h < cfg_.p; ++h) {
+      if (!alive_[h]) continue;
+      if (best == kNoHost || load[h] < load[best]) best = h;
+    }
+    EMCGM_ASSERT(best != kNoHost);
+    group_host_[g] = best;
+    ++load[best];
+  }
+
+  // Leftovers of the aborted superstep must not reach the replay.
+  net_->reset_links();
+
+  result.failovers += 1;
+  restore_from_commit();
 }
 
 // ----------------------------------------------------------------- run ----
@@ -211,6 +345,16 @@ std::vector<cgm::PartitionSet> EmEngine::run(
 
   commit_ = Commit{};
   running_program_ = program.name();
+
+  // Fresh membership per run: every machine alive, every store group hosted
+  // by its original owner, the physical superstep clock at zero.
+  std::iota(group_host_.begin(), group_host_.end(), 0u);
+  alive_.assign(p, 1);
+  phys_step_ = 0;
+  net_.reset();
+  if (cfg_.net.enabled && p > 1) {
+    net_ = std::make_unique<net::SimNetwork>(p, cfg_.net);
+  }
 
   pdm::IoStats io_before;
   for (auto& rp : procs_) io_before += rp->disks->stats();
@@ -284,8 +428,17 @@ std::vector<cgm::PartitionSet> EmEngine::run(
   }
   for (auto& rp : procs_) rp->contexts->flip();
 
-  // Superstep 0 is now recoverable: the inputs live on disk.
-  if (cfg_.checkpointing) commit(0, Phase::kCompute);
+  // Superstep 0 is now recoverable: the inputs live on disk. A machine that
+  // dies this early took uncommitted inputs with it — nothing to fail over
+  // to, so surface the underlying fault.
+  if (cfg_.checkpointing) {
+    try {
+      commit(0, Phase::kCompute);
+    } catch (const DeadProcsError& e) {
+      if (e.cause) std::rethrow_exception(e.cause);
+      throw Error("real processor died during the initial commit");
+    }
+  }
 
   return run_loop(program, 0, Phase::kCompute, io_before);
 }
@@ -325,9 +478,13 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     trace_mark = now;
   };
 
-  // One real processor's work during a computation superstep.
+  // One store group's work during a computation superstep. A store group is
+  // indexed by the real processor that originally owned it; after a
+  // fail-over several groups can be driven by the same surviving host, but
+  // each group still reads and writes its own stores — which is why the
+  // outcome (and the final output) is independent of who executes it.
   struct ProcOutcome {
-    // outgoing physical messages grouped by owning real processor
+    // outgoing physical messages grouped by owning store group
     std::vector<std::vector<cgm::Message>> by_owner;
     std::vector<char> done;  // per local vproc
     std::exception_ptr error;
@@ -415,43 +572,78 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     }
   };
 
+  // Run one phase across all p store groups: one worker per *live* host,
+  // each driving the groups currently assigned to it (ascending, so the
+  // disk-op order per group is independent of the assignment). A fail-stop
+  // crash (IoError kCrash) out of group g's own disks means machine g died —
+  // adopted groups run disarmed and cannot crash — so crashes are collected
+  // into a DeadProcsError for the fail-over path; any other error rethrows.
   auto run_phase = [&](auto&& fn) {
     std::vector<ProcOutcome> outcomes(p);
-    if (cfg_.use_threads && p > 1) {
+    auto drive_host = [&](std::uint32_t host) {
+      for (std::uint32_t g = 0; g < p; ++g) {
+        if (group_host_[g] == host) fn(g, outcomes[g]);
+      }
+    };
+    std::vector<std::uint32_t> hosts;
+    for (std::uint32_t h = 0; h < p; ++h) {
+      if (alive_[h]) hosts.push_back(h);
+    }
+    if (cfg_.use_threads && hosts.size() > 1) {
       std::vector<std::thread> threads;
-      threads.reserve(p);
-      for (std::uint32_t r = 0; r < p; ++r) {
-        threads.emplace_back([&, r] { fn(r, outcomes[r]); });
+      threads.reserve(hosts.size());
+      for (std::uint32_t h : hosts) {
+        threads.emplace_back([&, h] { drive_host(h); });
       }
       for (auto& t : threads) t.join();
     } else {
-      for (std::uint32_t r = 0; r < p; ++r) fn(r, outcomes[r]);
+      for (std::uint32_t h : hosts) drive_host(h);
     }
-    for (auto& o : outcomes) {
-      if (o.error) std::rethrow_exception(o.error);
+    std::vector<std::uint32_t> crashed;
+    std::exception_ptr cause;
+    for (std::uint32_t g = 0; g < p; ++g) {
+      if (!outcomes[g].error) continue;
+      if (!is_crash(outcomes[g].error)) {
+        std::rethrow_exception(outcomes[g].error);
+      }
+      crashed.push_back(g);
+      if (!cause) cause = outcomes[g].error;
+    }
+    if (!crashed.empty()) {
+      if (cfg_.net.failover) throw DeadProcsError{std::move(crashed), cause};
+      std::rethrow_exception(cause);
     }
     return outcomes;
   };
 
-  // Deliver staged messages (p > 1): network traffic is counted, then each
-  // real processor writes its arrivals to its own disks in one batch.
+  // Deliver staged messages (p > 1). Communication cost is attributed to
+  // *hosts*: a message crosses the network iff the hosts of its source and
+  // destination groups differ (identical to the old src_r != dst_r when the
+  // assignment is the identity). With the simulated network enabled, the
+  // crossing batches travel as MTU-sized fragments of a per-link record
+  // stream through the reliable protocol; NetStats picks up the wire tax
+  // (retransmissions,
+  // duplicates, corrupt frames) while StepComm keeps counting the delivered
+  // payload — the realized h-relation. Either way each store group then
+  // writes its arrivals, gathered in canonical (src_g-ascending) order and
+  // stable-sorted by (src, dst), so the bytes on disk are bit-identical
+  // between the direct path, the lossy-network path, and any degraded-mode
+  // assignment.
   auto deliver_staged = [&](std::vector<ProcOutcome>& outcomes) {
     cgm::StepComm step;
     if (p > 1) {
-      // Network accounting: only messages crossing real-processor
-      // boundaries cost communication time on the target machine.
       std::vector<std::uint64_t> sent(p, 0), recv(p, 0);
-      for (std::uint32_t src_r = 0; src_r < p; ++src_r) {
-        for (std::uint32_t dst_r = 0; dst_r < p; ++dst_r) {
-          if (src_r == dst_r) continue;
-          for (const auto& m : outcomes[src_r].by_owner[dst_r]) {
+      for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
+        for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
+          if (group_host_[src_g] == group_host_[dst_g]) continue;
+          for (const auto& m : outcomes[src_g].by_owner[dst_g]) {
             const std::uint64_t n = m.payload.size();
             step.bytes += n;
             step.messages += 1;
             step.min_msg_bytes = std::min(step.min_msg_bytes, n);
             step.max_msg_bytes = std::max(step.max_msg_bytes, n);
-            sent[src_r] += n;
-            recv[dst_r] += n;
+            sent[group_host_[src_g]] += n;
+            recv[group_host_[dst_g]] += n;
           }
         }
       }
@@ -459,20 +651,136 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         step.max_sent = std::max(step.max_sent, sent[r]);
         step.max_recv = std::max(step.max_recv, recv[r]);
       }
-      for (std::uint32_t dst_r = 0; dst_r < p; ++dst_r) {
+
+      // batches[dst_g][src_g]: the (src_g -> dst_g) message batch, however
+      // it traveled. Filled directly for same-host pairs, decoded from
+      // network deliveries otherwise. Crossing batches are serialized as
+      // self-delimiting records into one byte stream per (host, host) link
+      // — records in (src_g, dst_g) order, so the stream is canonical —
+      // then fragmented into frames of at most net.mtu_bytes: a link fault
+      // costs one fragment's retransmission, not a whole superstep's batch.
+      std::vector<std::vector<std::vector<cgm::Message>>> batches(
+          p, std::vector<std::vector<cgm::Message>>(p));
+      const net::NetStats net_mark = net_ ? net_->stats() : net::NetStats{};
+      std::vector<WriteArchive> streams(net_ ? static_cast<std::size_t>(p) * p
+                                             : 0);
+      for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
+        for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
+          auto& batch = outcomes[src_g].by_owner[dst_g];
+          if (batch.empty()) continue;
+          const bool crossing = group_host_[src_g] != group_host_[dst_g];
+          if (net_ && crossing) {
+            WriteArchive& ar =
+                streams[static_cast<std::size_t>(group_host_[src_g]) * p +
+                        group_host_[dst_g]];
+            ar.put<std::uint32_t>(src_g);
+            ar.put<std::uint32_t>(dst_g);
+            ar.put<std::uint64_t>(batch.size());
+            for (const auto& m : batch) {
+              ar.put<std::uint32_t>(m.src);
+              ar.put<std::uint32_t>(m.dst);
+              ar.put_bytes(m.payload);
+            }
+          } else {
+            batches[dst_g][src_g] = std::move(batch);
+          }
+        }
+      }
+      if (net_) {
+        const std::size_t mtu = cfg_.net.mtu_bytes;
+        for (std::uint32_t hs = 0; hs < p; ++hs) {
+          for (std::uint32_t hd = 0; hd < p; ++hd) {
+            auto bytes = streams[static_cast<std::size_t>(hs) * p + hd].take();
+            for (std::size_t off = 0; off < bytes.size(); off += mtu) {
+              const std::size_t len = std::min(mtu, bytes.size() - off);
+              net_->send(hs, hd,
+                         std::vector<std::byte>(bytes.begin() + off,
+                                                bytes.begin() + off + len));
+            }
+          }
+        }
+        std::vector<std::vector<net::Delivery>> inboxes;
+        try {
+          inboxes = net_->run_to_quiescence();
+        } catch (const net::NetError&) {
+          // Attribute the exhausted link before giving up: a fail-stopped
+          // peer is a fail-over, an overwhelmed retry budget is an error.
+          auto dead = net_->probe_dead();
+          if (!dead.empty() && cfg_.net.failover) {
+            throw DeadProcsError{std::move(dead), std::current_exception()};
+          }
+          throw;
+        }
+        for (std::uint32_t h = 0; h < p; ++h) {
+          // Reassemble each sender's fragment stream (per-link delivery is
+          // FIFO, so concatenation in arrival order restores it exactly),
+          // then parse the self-delimiting batch records back out.
+          std::vector<std::vector<std::byte>> stream_from(p);
+          for (auto& d : inboxes[h]) {
+            auto& s = stream_from[d.src];
+            s.insert(s.end(), d.payload.begin(), d.payload.end());
+          }
+          for (std::uint32_t hs = 0; hs < p; ++hs) {
+            if (stream_from[hs].empty()) continue;
+            ReadArchive ar(stream_from[hs]);
+            while (!ar.exhausted()) {
+              const auto src_g = ar.get<std::uint32_t>();
+              const auto dst_g = ar.get<std::uint32_t>();
+              EMCGM_CHECK_MSG(
+                  src_g < p && dst_g < p && group_host_[dst_g] == h,
+                  "network delivery misrouted");
+              const auto count = ar.get<std::uint64_t>();
+              auto& batch = batches[dst_g][src_g];
+              EMCGM_CHECK_MSG(batch.empty(),
+                              "duplicate network batch delivered");
+              batch.reserve(static_cast<std::size_t>(count));
+              for (std::uint64_t k = 0; k < count; ++k) {
+                cgm::Message m;
+                m.src = ar.get<std::uint32_t>();
+                m.dst = ar.get<std::uint32_t>();
+                m.payload = ar.get_bytes();
+                batch.push_back(std::move(m));
+              }
+            }
+          }
+        }
+        const net::NetStats delta = net_->stats() - net_mark;
+        step.wire_bytes = delta.wire_bytes;
+        step.retransmissions = delta.retransmissions;
+      }
+
+      std::vector<std::uint32_t> crashed;
+      std::exception_ptr cause;
+      for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
         std::vector<cgm::Message> arrivals;
-        for (std::uint32_t src_r = 0; src_r < p; ++src_r) {
-          auto& batch = outcomes[src_r].by_owner[dst_r];
-          for (auto& m : batch) arrivals.push_back(std::move(m));
+        for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
+          for (auto& m : batches[dst_g][src_g]) {
+            arrivals.push_back(std::move(m));
+          }
         }
         if (!arrivals.empty()) {
-          // Deterministic arrival order regardless of threading.
-          std::sort(arrivals.begin(), arrivals.end(),
-                    [](const cgm::Message& a, const cgm::Message& b) {
-                      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-                    });
-          procs_[dst_r]->messages->write_messages(arrivals);
+          // Deterministic arrival order regardless of threading or routing;
+          // stable so same-(src, dst) messages keep their program order.
+          std::stable_sort(arrivals.begin(), arrivals.end(),
+                           [](const cgm::Message& a, const cgm::Message& b) {
+                             return a.src != b.src ? a.src < b.src
+                                                   : a.dst < b.dst;
+                           });
+          try {
+            procs_[dst_g]->messages->write_messages(arrivals);
+          } catch (const IoError& e) {
+            // Group dst_g's own disks fail-stopped: machine dst_g died.
+            if (e.kind() != IoErrorKind::kCrash) throw;
+            crashed.push_back(dst_g);
+            if (!cause) cause = std::current_exception();
+          }
         }
+      }
+      if (!crashed.empty()) {
+        if (cfg_.net.failover) {
+          throw DeadProcsError{std::move(crashed), cause};
+        }
+        std::rethrow_exception(cause);
       }
     }
     result.comm.steps.push_back(step);
@@ -482,71 +790,111 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   std::uint64_t round = start_round;
   Phase phase = start_phase;
   bool all_done = (phase == Phase::kDone);
+  const net::NetStats net_before = net_ ? net_->stats() : net::NetStats{};
 
   while (!all_done) {
     EMCGM_CHECK_MSG(round < kMaxRounds,
                     "program '" << program.name() << "' exceeded "
                                 << kMaxRounds << " rounds");
-    if (phase == Phase::kCompute) {
-      auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
-        simulate_real_proc(r, round, o);
-      });
-      result.app_rounds += 1;
-
-      bool any_done = false;
-      all_done = true;
-      for (const auto& o : outcomes) {
-        for (char d : o.done) {
-          any_done = any_done || d;
-          all_done = all_done && d;
+    try {
+      if (net_) {
+        // The physical superstep clock drives the fail-stop trigger and the
+        // failure detector. It is monotonic: a replayed superstep is a new
+        // physical step, so a fault schedule never re-fires "in the past".
+        net_->set_step(phys_step_);
+        if (cfg_.net.failover) {
+          auto newly_dead = net_->heartbeat_round(phys_step_);
+          if (!newly_dead.empty()) {
+            throw DeadProcsError{std::move(newly_dead), nullptr};
+          }
         }
       }
-      EMCGM_CHECK_MSG(any_done == all_done,
-                      "program '" << program.name()
-                                  << "' disagreed on termination at round "
-                                  << round);
-      for (auto& rp : procs_) rp->contexts->flip();
-      if (all_done) {
-        if (cfg_.checkpointing) commit(round, Phase::kDone);
-        record_step_io();
-        break;
-      }
+      if (phase == Phase::kCompute) {
+        auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
+          simulate_real_proc(r, round, o);
+        });
+        result.app_rounds += 1;
 
-      deliver_staged(outcomes);
-      for (auto& rp : procs_) rp->messages->flip();
-      if (balanced) {
-        phase = Phase::kRegroup;
+        bool any_done = false;
+        all_done = true;
+        for (const auto& o : outcomes) {
+          for (char d : o.done) {
+            any_done = any_done || d;
+            all_done = all_done && d;
+          }
+        }
+        EMCGM_CHECK_MSG(any_done == all_done,
+                        "program '" << program.name()
+                                    << "' disagreed on termination at round "
+                                    << round);
+        for (auto& rp : procs_) rp->contexts->flip();
+        if (all_done) {
+          if (cfg_.checkpointing) commit(round, Phase::kDone);
+          record_step_io();
+          ++phys_step_;
+          break;
+        }
+
+        deliver_staged(outcomes);
+        for (auto& rp : procs_) rp->messages->flip();
+        if (balanced) {
+          phase = Phase::kRegroup;
+        } else {
+          ++round;
+        }
+        if (cfg_.checkpointing) commit(round, phase);
+        record_step_io();
       } else {
+        auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
+          regroup_real_proc(r, o);
+        });
+        deliver_staged(regroup);
+        for (auto& rp : procs_) rp->messages->flip();
+        phase = Phase::kCompute;
         ++round;
+        if (cfg_.checkpointing) commit(round, phase);
+        record_step_io();
       }
-      if (cfg_.checkpointing) commit(round, phase);
-      record_step_io();
-    } else {
-      auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
-        regroup_real_proc(r, o);
-      });
-      deliver_staged(regroup);
-      for (auto& rp : procs_) rp->messages->flip();
-      phase = Phase::kCompute;
-      ++round;
-      if (cfg_.checkpointing) commit(round, phase);
-      record_step_io();
+      ++phys_step_;
+    } catch (const DeadProcsError& e) {
+      // One or more machines died mid-superstep. Absorb the loss (or rethrow
+      // the underlying fault if fail-over cannot help) and replay from the
+      // last committed boundary with the new ownership map.
+      failover(e.procs, e.cause, result);
+      round = commit_.round;
+      phase = commit_.phase;
+      all_done = (phase == Phase::kDone);
+      ++phys_step_;
     }
   }
 
   // ------------------------------------------------------ collect output --
+  // A machine can still fail-stop here, while its contexts are being read
+  // back; the final boundary is committed (Phase::kDone), so absorbing the
+  // loss and re-reading through the survivor is safe.
   std::vector<cgm::PartitionSet> outputs;
-  for (std::uint32_t g = 0; g < v; ++g) {
-    auto& rp = *procs_[owner_of(g)];
-    const auto blob = rp.contexts->read(g % nloc);
-    auto state = program.make_state();
-    auto unpacked = unpack_context(blob, *state);
-    if (unpacked.outputs.size() > outputs.size()) {
-      outputs.resize(unpacked.outputs.size());
-      for (auto& slot : outputs) slot.parts.resize(v);
-    }
-    for (std::size_t k = 0; k < unpacked.outputs.size(); ++k) {
-      outputs[k].parts[g] = std::move(unpacked.outputs[k]);
+  for (;;) {
+    std::uint32_t reading_group = 0;
+    try {
+      outputs.clear();
+      for (std::uint32_t g = 0; g < v; ++g) {
+        reading_group = owner_of(g);
+        auto& rp = *procs_[reading_group];
+        const auto blob = rp.contexts->read(g % nloc);
+        auto state = program.make_state();
+        auto unpacked = unpack_context(blob, *state);
+        if (unpacked.outputs.size() > outputs.size()) {
+          outputs.resize(unpacked.outputs.size());
+          for (auto& slot : outputs) slot.parts.resize(v);
+        }
+        for (std::size_t k = 0; k < unpacked.outputs.size(); ++k) {
+          outputs[k].parts[g] = std::move(unpacked.outputs[k]);
+        }
+      }
+      break;
+    } catch (const IoError& e) {
+      if (e.kind() != IoErrorKind::kCrash || !cfg_.net.failover) throw;
+      failover({reading_group}, std::current_exception(), result);
     }
   }
   for (auto& slot : outputs) slot.parts.resize(v);
@@ -556,6 +904,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   pdm::IoStats io_after;
   for (auto& rp : procs_) io_after += rp->disks->stats();
   result.io = io_after - io_before;
+  if (net_) result.net = net_->stats() - net_before;
 
   result.wall_s = timer.elapsed_s();
   last_ = result;

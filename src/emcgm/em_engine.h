@@ -23,6 +23,7 @@
 #include "cgm/engine.h"
 #include "emcgm/context_store.h"
 #include "emcgm/message_store.h"
+#include "net/sim_network.h"
 #include "pdm/cost_model.h"
 #include "pdm/disk_array.h"
 
@@ -74,6 +75,19 @@ class EmEngine final : public cgm::Engine {
   /// crashed machine is "rebooted" so resume() can make progress.
   void disarm_faults();
 
+  /// The real processor currently executing store-group `g` (the virtual
+  /// processors and disks originally owned by real processor g). Identity
+  /// until a fail-over re-assigns a dead processor's groups to survivors.
+  std::uint32_t group_host(std::uint32_t g) const;
+
+  /// False once a fail-over declared this real processor dead. Its disks
+  /// survive (remounted by the adopting survivor); the machine is gone.
+  bool alive(std::uint32_t real_proc) const;
+
+  /// The simulated network of the current run, or nullptr (net disabled or
+  /// p == 1). Exposes wire statistics beyond last_result().net.
+  const net::SimNetwork* network() const { return net_.get(); }
+
  private:
   struct RealProc;
 
@@ -99,10 +113,28 @@ class EmEngine final : public cgm::Engine {
   void commit(std::uint64_t round, Phase phase);
   void restore_from_commit();
 
+  /// Absorb the death of `dead_procs` (fail-over): disarm their disk fault
+  /// injectors (the survivor remounts the disks), re-assign their store
+  /// groups to the least-loaded survivors, and restore every store from the
+  /// last committed boundary. Rethrows `cause` when fail-over is disabled,
+  /// nothing was committed yet, or no survivor remains.
+  void failover(const std::vector<std::uint32_t>& dead_procs,
+                std::exception_ptr cause, cgm::RunResult& result);
+
   cgm::MachineConfig cfg_;
   std::vector<std::unique_ptr<RealProc>> procs_;
   Commit commit_;
   std::string running_program_;  ///< name sanity check for resume()
+
+  // Fail-over state. Store-group g = the contexts/messages/disks originally
+  // owned by real processor g; group_host_[g] is the live processor driving
+  // them. Disk layout never moves — only the executing host changes, which
+  // is why degraded-mode outputs are bit-identical.
+  std::unique_ptr<net::SimNetwork> net_;
+  std::vector<std::uint32_t> group_host_;
+  std::vector<char> alive_;
+  std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock
+
   cgm::RunResult last_;
   cgm::RunResult total_;
 };

@@ -1,0 +1,77 @@
+#include "net/net_fault.h"
+
+namespace emcgm::net {
+
+namespace {
+
+// Distinct coin streams per fault class, mixed with the link id so links
+// fault independently.
+enum Stream : std::uint64_t {
+  kDrop = 1,
+  kDup = 2,
+  kCorrupt = 3,
+  kReorder = 4,
+  kDelay = 5,
+  kJitter = 6,
+};
+
+std::uint64_t stream_id(Stream s, std::uint64_t link) {
+  // Pre-mix: fault_coin xors the stream id with the (small) transmission
+  // index, so ids that differ only in their low bits would collide across
+  // links — e.g. (link 1, idx 2) drawing the same coin as (link 2, idx 1).
+  // A full mix makes every (class, link) stream independent.
+  return pdm::fault_mix((static_cast<std::uint64_t>(s) << 32) ^ link);
+}
+
+}  // namespace
+
+LinkFaultInjector::LinkFaultInjector(std::uint32_t p, NetFaultPlan plan)
+    : plan_(plan),
+      p_(p),
+      link_index_(static_cast<std::size_t>(p) * p, 0) {}
+
+LinkVerdict LinkFaultInjector::on_transmit(std::uint32_t src,
+                                           std::uint32_t dst, PacketType type,
+                                           std::size_t frame_bytes) {
+  LinkVerdict v;
+  if (fail_stopped(src) || fail_stopped(dst)) {
+    v.drop = true;
+    return v;
+  }
+  // Heartbeat-class frames see only fail-stop (see header).
+  if (type == PacketType::kHeartbeat) return v;
+
+  const std::uint64_t link = static_cast<std::uint64_t>(src) * p_ + dst;
+  const std::uint64_t idx = ++link_index_[link];
+  auto coin = [&](Stream s) {
+    return pdm::fault_coin(plan_.seed, stream_id(s, link), idx);
+  };
+  auto jitter = [&](Stream s, std::uint64_t mod) {
+    return static_cast<std::uint32_t>(
+        pdm::fault_mix(plan_.seed ^ stream_id(s, link) ^ idx) % mod);
+  };
+
+  if (plan_.drop_prob > 0 && coin(kDrop) < plan_.drop_prob) {
+    v.drop = true;
+    return v;
+  }
+  if (plan_.dup_prob > 0 && coin(kDup) < plan_.dup_prob) {
+    v.duplicate = true;
+    v.dup_extra_delay = 1 + jitter(kJitter, 2);
+  }
+  if (plan_.corrupt_prob > 0 && coin(kCorrupt) < plan_.corrupt_prob) {
+    v.corrupt = true;
+    v.corrupt_pos = frame_bytes == 0 ? 0 : jitter(kCorrupt, frame_bytes);
+  }
+  if (plan_.reorder_prob > 0 && coin(kReorder) < plan_.reorder_prob) {
+    v.reordered = true;
+    v.extra_delay += 1 + jitter(kReorder, 3);
+  }
+  if (plan_.delay_prob > 0 && coin(kDelay) < plan_.delay_prob) {
+    v.delayed = true;
+    v.extra_delay += plan_.delay_ticks;
+  }
+  return v;
+}
+
+}  // namespace emcgm::net

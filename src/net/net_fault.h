@@ -1,0 +1,120 @@
+// Deterministic fault injection for the simulated network, mirroring the
+// pdm/fault design: a seeded plan, per-event coins from the shared fault
+// clock (pdm::fault_coin), and assertable behavior — the same plan over the
+// same transmission sequence fires the same faults.
+//
+// Five per-link fault classes on data/ack traffic:
+//
+//   * drop      — the frame vanishes in flight,
+//   * duplicate — the link delivers the frame twice,
+//   * corrupt   — one byte flips in flight; the receiver's CRC rejects it,
+//   * reorder   — the frame is delayed past later frames on the link,
+//   * delay     — congestion adds plan.delay_ticks of latency,
+//
+// plus fail-stop of a whole real processor: from fail_stop_at_step on, every
+// frame to or from fail_stop_proc is dropped — the machine is gone.
+//
+// Heartbeat-class frames are exempt from the five random classes and subject
+// only to fail-stop. This models an eventually-perfect failure detector
+// directly instead of simulating its convergence: a live processor is
+// eventually heard from, a fail-stopped one never is, and the engine's
+// membership decisions stay deterministic under any random-loss seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "pdm/fault.h"
+
+namespace emcgm::net {
+
+inline constexpr std::uint32_t kNoProc = 0xFFFFFFFF;
+
+/// Seeded deterministic network fault schedule. Probabilities are per wire
+/// transmission, with independent per-link coin streams.
+struct NetFaultPlan {
+  std::uint64_t seed = 1;
+
+  double drop_prob = 0.0;     ///< frame lost in flight
+  double dup_prob = 0.0;      ///< frame delivered twice
+  double corrupt_prob = 0.0;  ///< one byte flipped in flight
+  double reorder_prob = 0.0;  ///< frame delayed past its successors
+  double delay_prob = 0.0;    ///< congestion delay of delay_ticks
+
+  std::uint32_t delay_ticks = 3;         ///< extra latency of a delay fault
+  std::uint32_t base_latency_ticks = 1;  ///< fault-free one-way latency
+
+  /// Fail-stop: real processor fail_stop_proc dies at physical superstep
+  /// fail_stop_at_step (all its traffic is dropped from then on).
+  std::uint32_t fail_stop_proc = kNoProc;
+  std::uint64_t fail_stop_at_step = 0;
+
+  bool enabled() const {
+    return drop_prob > 0 || dup_prob > 0 || corrupt_prob > 0 ||
+           reorder_prob > 0 || delay_prob > 0 || fail_stop_proc != kNoProc;
+  }
+};
+
+/// Network-layer configuration of a machine (EmEngine, p > 1).
+struct NetConfig {
+  /// Route cross-processor messages through the simulated network's framed,
+  /// reliable-delivery protocol instead of handing them over by fiat.
+  bool enabled = false;
+  /// On the death of a real processor, re-assign its virtual processors to
+  /// survivors from the last committed checkpoint and finish the run in
+  /// degraded mode (requires cfg.checkpointing).
+  bool failover = false;
+  NetFaultPlan fault{};
+  /// Retransmission schedule: max_attempts total transmissions per frame,
+  /// backoff_us interpreted as virtual network ticks.
+  pdm::RetryPolicy retry{8, 8, 2.0, 1024, nullptr};
+  /// Maximum payload per wire frame: a superstep's batch stream is
+  /// fragmented into frames of at most this size, so a fault costs one
+  /// fragment's retransmission, not a whole batch's.
+  std::size_t mtu_bytes = 64 * 1024;
+  /// Heartbeat rounds a processor may miss before it is declared dead.
+  std::uint32_t heartbeat_miss_threshold = 3;
+};
+
+/// What the injector decided for one wire transmission.
+struct LinkVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  bool reordered = false;
+  bool delayed = false;
+  std::uint32_t extra_delay = 0;      ///< added to the base latency
+  std::uint32_t dup_extra_delay = 0;  ///< latency of the duplicate copy
+  std::size_t corrupt_pos = 0;        ///< byte index to flip
+};
+
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(std::uint32_t p, NetFaultPlan plan);
+
+  /// Advance the shared fault clock to physical superstep `step` (drives the
+  /// fail-stop trigger).
+  void set_step(std::uint64_t step) { step_ = step; }
+
+  /// True once `proc` has fail-stopped under the plan.
+  bool fail_stopped(std::uint32_t proc) const {
+    return plan_.fail_stop_proc == proc && step_ >= plan_.fail_stop_at_step;
+  }
+
+  /// Verdict for one transmission of `frame_bytes` bytes on link src->dst.
+  /// Consumes one per-link fault-clock index for data/ack frames.
+  LinkVerdict on_transmit(std::uint32_t src, std::uint32_t dst,
+                          PacketType type, std::size_t frame_bytes);
+
+  const NetFaultPlan& plan() const { return plan_; }
+
+ private:
+  NetFaultPlan plan_;
+  std::uint32_t p_;
+  std::uint64_t step_ = 0;
+  std::vector<std::uint64_t> link_index_;  ///< transmissions per ordered link
+};
+
+}  // namespace emcgm::net

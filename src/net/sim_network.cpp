@@ -1,0 +1,320 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace emcgm::net {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::string net_error_what(std::uint32_t src, std::uint32_t dst,
+                           std::uint32_t attempts) {
+  std::ostringstream os;
+  os << "net error: link " << src << "->" << dst
+     << " exhausted its retransmission budget (" << attempts
+     << " attempts without an ack)";
+  return os.str();
+}
+
+}  // namespace
+
+NetError::NetError(std::uint32_t src, std::uint32_t dst,
+                   std::uint32_t attempts)
+    : Error(net_error_what(src, dst, attempts)), src_(src), dst_(dst) {}
+
+SimNetwork::SimNetwork(std::uint32_t p, NetConfig cfg)
+    : p_(p),
+      cfg_(cfg),
+      injector_(p, cfg.fault),
+      dead_(p, 0),
+      links_(static_cast<std::size_t>(p) * p),
+      inbox_(p),
+      last_seen_(p, 0) {
+  EMCGM_CHECK(p >= 1);
+  EMCGM_CHECK(cfg_.retry.max_attempts >= 1);
+}
+
+void SimNetwork::mark_dead(std::uint32_t proc) {
+  EMCGM_CHECK(proc < p_);
+  if (dead_[proc]) return;
+  dead_[proc] = 1;
+  // Nothing further will be delivered to or acked by the dead processor;
+  // abandon in-flight state on its links instead of retrying into the void.
+  for (std::uint32_t q = 0; q < p_; ++q) {
+    link(proc, q).window.clear();
+    link(q, proc).window.clear();
+  }
+}
+
+void SimNetwork::send(std::uint32_t src, std::uint32_t dst,
+                      std::vector<std::byte> payload) {
+  EMCGM_CHECK(src < p_ && dst < p_ && src != dst);
+  EMCGM_CHECK_MSG(!dead_[src] && !dead_[dst],
+                  "send on a link with a dead endpoint: " << src << "->"
+                                                          << dst);
+  LinkState& l = link(src, dst);
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.seq = l.next_seq++;
+  pkt.payload = std::move(payload);
+  l.window.push_back(Unacked{pkt.seq, frame_packet(pkt), 0, 0});
+}
+
+std::uint64_t SimNetwork::rto(std::uint32_t attempts) const {
+  // Never time out before a same-tick ack could possibly arrive: one base
+  // latency each way plus slack, whatever the retry policy's base says.
+  const std::uint64_t floor =
+      2 * static_cast<std::uint64_t>(cfg_.fault.base_latency_ticks) + 2;
+  return std::max(floor, cfg_.retry.backoff_us(attempts));
+}
+
+void SimNetwork::transmit(const Packet& pkt,
+                          const std::vector<std::byte>& frame) {
+  switch (pkt.type) {
+    case PacketType::kData:
+      ++stats_.data_sent;
+      break;
+    case PacketType::kAck:
+      ++stats_.acks_sent;
+      break;
+    case PacketType::kHeartbeat:
+      ++stats_.heartbeats_sent;
+      break;
+  }
+  stats_.wire_bytes += frame.size();
+
+  const LinkVerdict v =
+      injector_.on_transmit(pkt.src, pkt.dst, pkt.type, frame.size());
+  if (v.drop) {
+    ++stats_.dropped;
+    return;
+  }
+  if (v.reordered) ++stats_.reordered;
+  if (v.delayed) ++stats_.delayed;
+
+  const std::uint64_t base = cfg_.fault.base_latency_ticks;
+  std::vector<std::byte> copy = frame;
+  if (v.corrupt) {
+    ++stats_.corrupted;
+    copy[v.corrupt_pos % copy.size()] ^= std::byte{0x40};
+  }
+  events_.push(Event{tick_ + base + v.extra_delay, order_counter_++,
+                     std::move(copy)});
+  if (v.duplicate) {
+    ++stats_.duplicated;
+    events_.push(
+        Event{tick_ + base + v.dup_extra_delay, order_counter_++, frame});
+  }
+}
+
+void SimNetwork::handle_arrival(const std::vector<std::byte>& frame) {
+  const std::optional<Packet> parsed = parse_packet(frame);
+  if (!parsed) {
+    // In-flight corruption: the CRC (or frame structure) check rejected it.
+    // The sender's retransmission timer recovers.
+    ++stats_.corrupt_discarded;
+    return;
+  }
+  const Packet& pkt = *parsed;
+  if (pkt.src >= p_ || pkt.dst >= p_) return;
+  if (dead_[pkt.src] || dead_[pkt.dst]) return;
+
+  if (pkt.type == PacketType::kAck) {
+    // Cumulative ack for the data direction dst -> src of the ack frame.
+    LinkState& l = link(pkt.dst, pkt.src);
+    while (!l.window.empty() && l.window.front().attempts > 0 &&
+           l.window.front().seq <= pkt.seq) {
+      l.window.pop_front();
+    }
+    return;
+  }
+  if (pkt.type == PacketType::kHeartbeat) {
+    last_seen_[pkt.src] =
+        std::max(last_seen_[pkt.src], static_cast<std::int64_t>(pkt.seq));
+    return;
+  }
+
+  LinkState& l = link(pkt.src, pkt.dst);
+  if (pkt.seq < l.expect) {
+    ++stats_.duplicates_discarded;
+  } else if (pkt.seq == l.expect) {
+    ++stats_.delivered_messages;
+    stats_.delivered_payload_bytes += pkt.payload.size();
+    inbox_[pkt.dst].push_back(Delivery{pkt.src, std::move(parsed->payload)});
+    ++l.expect;
+    // Drain the resequencing buffer while it continues the in-order run.
+    for (auto it = l.ooo.find(l.expect); it != l.ooo.end();
+         it = l.ooo.find(l.expect)) {
+      ++stats_.delivered_messages;
+      stats_.delivered_payload_bytes += it->second.size();
+      inbox_[pkt.dst].push_back(Delivery{pkt.src, std::move(it->second)});
+      l.ooo.erase(it);
+      ++l.expect;
+    }
+  } else {
+    if (l.ooo.emplace(pkt.seq, parsed->payload).second) {
+      ++stats_.out_of_order_buffered;
+    } else {
+      ++stats_.duplicates_discarded;
+    }
+  }
+
+  // Cumulative ack (also on dup/out-of-order arrivals: a lost ack must not
+  // leave the sender retransmitting forever).
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.src = pkt.dst;
+  ack.dst = pkt.src;
+  ack.seq = l.expect - 1;
+  transmit(ack, frame_packet(ack));
+}
+
+std::vector<std::vector<Delivery>> SimNetwork::run_to_quiescence() {
+  tick_ = 0;
+  order_counter_ = 0;
+
+  for (;;) {
+    // Put queued-but-never-transmitted frames on the wire at the current
+    // tick, in link order (canonical, hence deterministic).
+    for (std::size_t li = 0; li < links_.size(); ++li) {
+      for (Unacked& u : links_[li].window) {
+        if (u.attempts != 0) continue;
+        u.attempts = 1;
+        u.last_sent = tick_;
+        const std::optional<Packet> pkt = parse_packet(u.frame);
+        EMCGM_ASSERT(pkt.has_value());
+        transmit(*pkt, u.frame);
+      }
+    }
+
+    const bool all_acked =
+        std::all_of(links_.begin(), links_.end(),
+                    [](const LinkState& l) { return l.window.empty(); });
+    if (all_acked) break;
+
+    // Advance the clock to the next thing that happens: an arrival or the
+    // earliest retransmission deadline.
+    const std::uint64_t next_event = events_.empty() ? kNever
+                                                     : events_.top().tick;
+    std::uint64_t next_rto = kNever;
+    for (const LinkState& l : links_) {
+      for (const Unacked& u : l.window) {
+        if (u.attempts == 0) continue;
+        next_rto = std::min(next_rto, u.last_sent + rto(u.attempts));
+      }
+    }
+    EMCGM_ASSERT(next_event != kNever || next_rto != kNever);
+    tick_ = std::min(next_event, next_rto);
+
+    // Arrivals first: an ack landing at this tick cancels a same-tick
+    // retransmission.
+    while (!events_.empty() && events_.top().tick <= tick_) {
+      const std::vector<std::byte> frame = std::move(events_.top().frame);
+      events_.pop();
+      handle_arrival(frame);
+    }
+
+    // Then retransmissions that are (still) due.
+    for (std::size_t li = 0; li < links_.size(); ++li) {
+      LinkState& l = links_[li];
+      for (Unacked& u : l.window) {
+        if (u.attempts == 0 || u.last_sent + rto(u.attempts) > tick_) continue;
+        if (u.attempts >= cfg_.retry.max_attempts) {
+          const std::uint32_t src = static_cast<std::uint32_t>(li / p_);
+          const std::uint32_t dst = static_cast<std::uint32_t>(li % p_);
+          throw NetError(src, dst, u.attempts);
+        }
+        ++u.attempts;
+        u.last_sent = tick_;
+        ++stats_.retransmissions;
+        const std::optional<Packet> pkt = parse_packet(u.frame);
+        EMCGM_ASSERT(pkt.has_value());
+        transmit(*pkt, u.frame);
+      }
+    }
+  }
+
+  // Quiescent: every payload delivered and acked. In-flight leftovers are
+  // duplicates and stale acks — drop them.
+  while (!events_.empty()) events_.pop();
+
+  std::vector<std::vector<Delivery>> out = std::move(inbox_);
+  inbox_.assign(p_, {});
+  return out;
+}
+
+std::vector<std::uint32_t> SimNetwork::heartbeat_round(std::uint64_t step) {
+  ++stats_.heartbeat_rounds;
+  if (!hb_init_) {
+    hb_init_ = true;
+    std::fill(last_seen_.begin(), last_seen_.end(),
+              static_cast<std::int64_t>(step) - 1);
+  }
+
+  std::uint32_t live = 0;
+  for (std::uint32_t q = 0; q < p_; ++q) live += dead_[q] ? 0 : 1;
+
+  // Every live processor beats to every other; being heard by anyone renews
+  // the lease. Heartbeats see only fail-stop (net_fault.h), so this is the
+  // eventually-perfect detector: with <= 1 peer there is no one to miss you.
+  if (live > 1) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      if (dead_[i]) continue;
+      for (std::uint32_t j = 0; j < p_; ++j) {
+        if (j == i || dead_[j]) continue;
+        ++stats_.heartbeats_sent;
+        stats_.wire_bytes += kPacketHeaderBytes;
+        const LinkVerdict v = injector_.on_transmit(
+            i, j, PacketType::kHeartbeat, kPacketHeaderBytes);
+        if (v.drop) {
+          ++stats_.dropped;
+          continue;
+        }
+        last_seen_[i] =
+            std::max(last_seen_[i], static_cast<std::int64_t>(step));
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> newly_dead;
+  if (live > 1) {
+    for (std::uint32_t i = 0; i < p_; ++i) {
+      if (dead_[i]) continue;
+      const std::int64_t missed =
+          static_cast<std::int64_t>(step) - last_seen_[i];
+      if (missed >= static_cast<std::int64_t>(cfg_.heartbeat_miss_threshold)) {
+        newly_dead.push_back(i);
+      }
+    }
+  }
+  for (std::uint32_t q : newly_dead) mark_dead(q);
+  return newly_dead;
+}
+
+void SimNetwork::reset_links() {
+  for (LinkState& l : links_) {
+    l.window.clear();
+    l.ooo.clear();
+    l.next_seq = 1;
+    l.expect = 1;
+  }
+  while (!events_.empty()) events_.pop();
+  inbox_.assign(p_, {});
+}
+
+std::vector<std::uint32_t> SimNetwork::probe_dead() {
+  std::vector<std::uint32_t> newly_dead;
+  for (std::uint32_t q = 0; q < p_; ++q) {
+    if (!dead_[q] && injector_.fail_stopped(q)) newly_dead.push_back(q);
+  }
+  for (std::uint32_t q : newly_dead) mark_dead(q);
+  return newly_dead;
+}
+
+}  // namespace emcgm::net

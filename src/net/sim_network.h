@@ -1,0 +1,154 @@
+// Simulated network with reliable, exactly-once, in-order delivery over
+// faulty links (the transport under Algorithm 3's p > 1 communication
+// round).
+//
+// The protocol is a deterministic, discrete-event TCP-in-miniature:
+//
+//   * per-(src, dst) sequence numbers assigned at send(),
+//   * a sender window of unacked frames, retransmitted on timeout with the
+//     exponential backoff of a pdm::RetryPolicy (backoff_us = virtual
+//     ticks); the retry budget exhausting raises NetError,
+//   * cumulative acks from the receiver on every data arrival,
+//   * receiver-side dedup (seq below the cursor) and a resequencing buffer
+//     (seq above it), so the application sees each payload exactly once, in
+//     send order, whatever the link did.
+//
+// run_to_quiescence() drives a virtual clock until every queued payload is
+// delivered and acked. All randomness comes from the LinkFaultInjector's
+// seeded coins and all ties break on (tick, enqueue order), so a run is a
+// pure function of (plan, send sequence) — the property every fail-over test
+// leans on.
+//
+// Fail-over support: heartbeat_round() implements an eventually-perfect
+// failure detector (heartbeats are subject only to fail-stop; see
+// net_fault.h) — a processor unheard-of for heartbeat_miss_threshold rounds
+// is declared dead. probe_dead() answers "who is unreachable right now" when
+// a retransmission budget exhausts mid-round.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "net/net_fault.h"
+#include "net/net_stats.h"
+#include "net/packet.h"
+#include "util/error.h"
+
+namespace emcgm::net {
+
+/// The reliable protocol gave up on a link: the retransmission budget
+/// exhausted without an ack. Either the peer is dead (probe_dead() will say
+/// so) or the loss rate overwhelms the retry policy.
+class NetError : public Error {
+ public:
+  NetError(std::uint32_t src, std::uint32_t dst, std::uint32_t attempts);
+
+  std::uint32_t src() const { return src_; }
+  std::uint32_t dst() const { return dst_; }
+
+ private:
+  std::uint32_t src_;
+  std::uint32_t dst_;
+};
+
+/// One payload handed to the application, tagged with the sending processor.
+struct Delivery {
+  std::uint32_t src = 0;
+  std::vector<std::byte> payload;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(std::uint32_t p, NetConfig cfg);
+
+  /// Advance the shared fault clock (fail-stop triggers are step-based).
+  void set_step(std::uint64_t step) { injector_.set_step(step); }
+
+  /// Administratively remove a processor (engine-side fail-over decision):
+  /// it neither sends nor receives from now on, and the failure detector
+  /// stops tracking it.
+  void mark_dead(std::uint32_t proc);
+  bool dead(std::uint32_t proc) const { return dead_[proc] != 0; }
+
+  /// Queue a payload for reliable delivery src -> dst (both alive).
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<std::byte> payload);
+
+  /// Drive the virtual clock until every queued payload is delivered and
+  /// acked. Returns per-destination deliveries in delivery order (per-link
+  /// FIFO). Throws NetError when a frame's retransmission budget exhausts.
+  std::vector<std::vector<Delivery>> run_to_quiescence();
+
+  /// One heartbeat round at physical superstep `step`: every live processor
+  /// beats to every other. Returns the processors newly declared dead by the
+  /// miss-threshold detector (already mark_dead()-ed).
+  std::vector<std::uint32_t> heartbeat_round(std::uint64_t step);
+
+  /// Processors that are fail-stopped but not yet administratively dead
+  /// (already mark_dead()-ed on return). Used on NetError to attribute an
+  /// exhausted link to a dead peer.
+  std::vector<std::uint32_t> probe_dead();
+
+  /// Abandon the current protocol epoch: drop every in-flight frame, sender
+  /// window, resequencing buffer, and undelivered inbox entry, and rewind
+  /// all sequence numbers to 1. Called when a superstep's delivery aborted
+  /// (NetError -> fail-over) and will be replayed from a checkpoint — the
+  /// replay must not receive leftovers of the aborted round.
+  void reset_links();
+
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  struct Unacked {
+    std::uint64_t seq = 0;
+    std::vector<std::byte> frame;  ///< clean frame; corruption hits copies
+    std::uint64_t last_sent = 0;   ///< tick of the latest transmission
+    std::uint32_t attempts = 0;    ///< 0 = queued by send(), not yet on wire
+  };
+
+  /// Both directions of one ordered (src, dst) pair.
+  struct LinkState {
+    std::uint64_t next_seq = 1;   ///< sender: next sequence to assign
+    std::deque<Unacked> window;   ///< sender: sent or queued, unacked
+    std::uint64_t expect = 1;     ///< receiver: next in-order seq
+    std::map<std::uint64_t, std::vector<std::byte>> ooo;  ///< resequencing
+  };
+
+  struct Event {
+    std::uint64_t tick = 0;
+    std::uint64_t order = 0;  ///< enqueue counter: deterministic tie-break
+    std::vector<std::byte> frame;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.tick != b.tick ? a.tick > b.tick : a.order > b.order;
+    }
+  };
+
+  LinkState& link(std::uint32_t src, std::uint32_t dst) {
+    return links_[static_cast<std::size_t>(src) * p_ + dst];
+  }
+  void transmit(const Packet& pkt, const std::vector<std::byte>& frame);
+  void handle_arrival(const std::vector<std::byte>& frame);
+  std::uint64_t rto(std::uint32_t attempts) const;
+
+  std::uint32_t p_;
+  NetConfig cfg_;
+  LinkFaultInjector injector_;
+  std::vector<char> dead_;
+  std::vector<LinkState> links_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::uint64_t order_counter_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<std::vector<Delivery>> inbox_;
+  NetStats stats_;
+
+  // Failure detector: last superstep each processor was heard at.
+  bool hb_init_ = false;
+  std::vector<std::int64_t> last_seen_;
+};
+
+}  // namespace emcgm::net

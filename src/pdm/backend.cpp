@@ -108,9 +108,19 @@ FileBackend::FileBackend(const DiskGeometry& geom, std::string directory)
     fds_.push_back(fd);
     paths_.push_back(std::move(path));
   }
+  // Make the just-created directory entries durable up front: a disk file
+  // that exists in the page cache but not on the platter is useless to a
+  // recovery that follows a host crash.
+  dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd_ < 0) raise_system("open directory", dir_);
+  if (::fsync(dir_fd_) != 0) raise_system("fsync directory", dir_);
 }
 
 FileBackend::~FileBackend() {
+  if (dir_fd_ >= 0 && ::close(dir_fd_) != 0) {
+    std::fprintf(stderr, "emcgm: close(%s) failed: %s\n", dir_.c_str(),
+                 std::strerror(errno));
+  }
   for (std::size_t d = 0; d < fds_.size(); ++d) {
     // Destructors cannot throw; report clean-up failures instead of
     // swallowing them.
@@ -143,6 +153,15 @@ void FileBackend::write_block(std::uint32_t disk, std::uint64_t track,
   EMCGM_CHECK(data.size() == geom_.block_bytes);
   const auto off = static_cast<off_t>(track * geom_.block_bytes);
   pwrite_full(fds_[disk], data.data(), data.size(), off);
+}
+
+void FileBackend::sync() {
+  for (std::size_t d = 0; d < fds_.size(); ++d) {
+    if (::fsync(fds_[d]) != 0) raise_system("fsync", paths_[d]);
+  }
+  // The directory too: a first write to a sparse region can extend the file,
+  // and the rename-free commit protocol relies on the entries being stable.
+  if (::fsync(dir_fd_) != 0) raise_system("fsync directory", dir_);
 }
 
 std::uint64_t FileBackend::tracks_used(std::uint32_t disk) const {

@@ -41,6 +41,12 @@ class StorageBackend {
   /// fail-stop crashes "after K parallel I/Os".
   virtual void note_parallel_op() {}
 
+  /// Force every completed write down to durable storage. Default: no-op
+  /// (MemoryBackend has no durability to speak of). FileBackend fsyncs each
+  /// disk file; commit() calls this before declaring a boundary committed,
+  /// so a committed checkpoint survives the host, not just the process.
+  virtual void sync() {}
+
   const DiskGeometry& geometry() const { return geom_; }
 
  protected:
@@ -82,6 +88,7 @@ class FileBackend final : public StorageBackend {
   void write_block(std::uint32_t disk, std::uint64_t track,
                    std::span<const std::byte> data) override;
   std::uint64_t tracks_used(std::uint32_t disk) const override;
+  void sync() override;
 
   const std::string& directory() const { return dir_; }
 
@@ -89,6 +96,7 @@ class FileBackend final : public StorageBackend {
   std::string dir_;
   std::vector<int> fds_;          // one file descriptor per disk
   std::vector<std::string> paths_;
+  int dir_fd_ = -1;               // for fsyncing the directory entries
 };
 
 /// Backend choice for configuration structs.

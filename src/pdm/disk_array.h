@@ -69,6 +69,14 @@ class DiskArray {
   /// One parallel write of 1..D blocks, at most one per disk.
   void parallel_write(std::span<const WriteSlot> slots);
 
+  /// Flush every completed write to durable storage (backend fsync; no-op
+  /// for MemoryBackend). Counted in stats().fsyncs either way, so tests can
+  /// assert the durability protocol without a real filesystem.
+  void sync() {
+    backend_->sync();
+    ++stats_.fsyncs;
+  }
+
   const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
 

@@ -4,23 +4,18 @@
 
 namespace emcgm::pdm {
 
-namespace {
-
-// SplitMix64: deterministic per-op coin independent of call history.
-std::uint64_t splitmix64(std::uint64_t x) {
+std::uint64_t fault_mix(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
 
-double unit_coin(std::uint64_t seed, std::uint64_t stream,
-                 std::uint64_t index) {
-  const std::uint64_t r = splitmix64(seed ^ splitmix64(stream ^ index));
+double fault_coin(std::uint64_t seed, std::uint64_t stream,
+                  std::uint64_t index) {
+  const std::uint64_t r = fault_mix(seed ^ fault_mix(stream ^ index));
   return static_cast<double>(r >> 11) * 0x1.0p-53;
 }
-
-}  // namespace
 
 FaultInjectingBackend::FaultInjectingBackend(
     std::unique_ptr<StorageBackend> inner, FaultPlan plan)
@@ -33,7 +28,7 @@ bool FaultInjectingBackend::fire_transient(std::uint64_t at, double prob,
   if (at != 0 && index >= at && index < at + plan_.transient_burst) {
     return true;
   }
-  return prob > 0 && unit_coin(plan_.seed, at ^ 0x7472616E73ULL, index) < prob;
+  return prob > 0 && fault_coin(plan_.seed, at ^ 0x7472616E73ULL, index) < prob;
 }
 
 void FaultInjectingBackend::note_parallel_op() {
@@ -112,7 +107,7 @@ void FaultInjectingBackend::write_block(std::uint32_t disk,
     ++counters_.bitflips;
     std::vector<std::byte> flipped(data.begin(), data.end());
     const std::size_t pos =
-        splitmix64(plan_.seed ^ index) % (flipped.empty() ? 1 : flipped.size());
+        fault_mix(plan_.seed ^ index) % (flipped.empty() ? 1 : flipped.size());
     flipped[pos] ^= std::byte{0x40};
     inner_->write_block(disk, track, flipped);
     return;

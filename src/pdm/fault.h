@@ -29,6 +29,16 @@
 
 namespace emcgm::pdm {
 
+/// SplitMix64 finalizer: the shared deterministic "fault clock" primitive.
+/// Both the disk fault injector and the network LinkFaultInjector derive
+/// their per-event decisions from it, so a (seed, stream, index) triple
+/// always yields the same outcome independent of call history.
+std::uint64_t fault_mix(std::uint64_t x);
+
+/// Deterministic per-event coin in [0, 1) for (seed, stream, index).
+double fault_coin(std::uint64_t seed, std::uint64_t stream,
+                  std::uint64_t index);
+
 /// Deterministic fault schedule. Block-op triggers fire on the 1-based index
 /// of the backend-level block read/write they name (retries re-count: a
 /// retried block read is a new read op). 0 disables a trigger.
@@ -74,6 +84,7 @@ class FaultInjectingBackend final : public StorageBackend {
                    std::span<const std::byte> data) override;
   std::uint64_t tracks_used(std::uint32_t disk) const override;
   void note_parallel_op() override;
+  void sync() override { inner_->sync(); }
 
   const FaultPlan& plan() const { return plan_; }
   const FaultCounters& counters() const { return counters_; }

@@ -14,6 +14,7 @@ struct IoStats {
   std::uint64_t full_stripe_ops = 0; ///< ops that used all D disks
   std::uint64_t retries = 0;         ///< transient-fault block retries
   std::uint64_t corruptions = 0;     ///< checksum/tag mismatches detected
+  std::uint64_t fsyncs = 0;          ///< durability barriers (DiskArray::sync)
 
   std::uint64_t total_ops() const { return read_ops + write_ops; }
   std::uint64_t total_blocks() const { return blocks_read + blocks_written; }
@@ -34,6 +35,7 @@ struct IoStats {
     full_stripe_ops += o.full_stripe_ops;
     retries += o.retries;
     corruptions += o.corruptions;
+    fsyncs += o.fsyncs;
     return *this;
   }
 
@@ -45,6 +47,7 @@ struct IoStats {
     full_stripe_ops -= o.full_stripe_ops;
     retries -= o.retries;
     corruptions -= o.corruptions;
+    fsyncs -= o.fsyncs;
     return *this;
   }
 

@@ -315,16 +315,36 @@ TEST(Checkpoint, CheckpointingDoesNotChangeResults) {
   EXPECT_TRUE(ckpt.has_checkpoint());
 }
 
-TEST(Checkpoint, ResumeAfterEverySuperstepBoundary) {
+// The kill-and-resume sweep runs on both storage backends: MemoryBackend
+// (counts only) and FileBackend (real pread/pwrite/fsync under /tmp), so
+// recovery is exercised against genuinely persisted bytes too. Each engine
+// instance gets its own directory — FileBackend truncates on open.
+class CheckpointSweep : public ::testing::TestWithParam<pdm::BackendKind> {
+ protected:
+  cgm::MachineConfig sweep_cfg() {
+    auto cfg = ckpt_cfg();
+    cfg.backend = GetParam();
+    if (cfg.backend == pdm::BackendKind::kFile) {
+      cfg.file_dir = "/tmp/emcgm_test_sweep_" + std::to_string(next_dir_++);
+    }
+    return cfg;
+  }
+
+ private:
+  static inline int next_dir_ = 0;
+};
+
+TEST_P(CheckpointSweep, ResumeAfterEverySuperstepBoundary) {
   const auto keys = sort_keys_input(800);
   algo::SampleSortProgram<std::uint64_t> prog;
 
   // Reference: uninterrupted checkpointed run. Its per-step I/O trace gives
   // the parallel-op count at every physical superstep boundary.
-  auto cfg = ckpt_cfg();
-  em::EmEngine ref(cfg);
+  em::EmEngine ref(sweep_cfg());
   const auto expected = ref.run(prog, keyed_inputs(4, keys));
   ASSERT_GT(ref.last_result().app_rounds, 3u) << "need a multi-round sort";
+  // Every commit was made durable before being declared committed.
+  EXPECT_EQ(ref.io_stats(0).fsyncs, ref.last_result().io_per_step.size());
 
   std::vector<std::uint64_t> crash_points;
   std::uint64_t cum = 0;
@@ -340,7 +360,7 @@ TEST(Checkpoint, ResumeAfterEverySuperstepBoundary) {
 
   int resumed = 0;
   for (const std::uint64_t K : crash_points) {
-    auto crash_cfg = cfg;
+    auto crash_cfg = sweep_cfg();
     crash_cfg.fault.crash_after_ops = K;
     em::EmEngine e(crash_cfg);
     bool crashed = false;
@@ -359,11 +379,21 @@ TEST(Checkpoint, ResumeAfterEverySuperstepBoundary) {
     e.disarm_faults();
     got = e.resume(prog);
     ++resumed;
+    // Bit-identical: same_outputs compares every partition byte for byte.
     EXPECT_TRUE(same_outputs(expected, got)) << "resumed from K=" << K;
   }
   // The sweep must actually have exercised recovery, at several boundaries.
   EXPECT_GE(resumed, 8);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, CheckpointSweep,
+                         ::testing::Values(pdm::BackendKind::kMemory,
+                                           pdm::BackendKind::kFile),
+                         [](const auto& info) {
+                           return info.param == pdm::BackendKind::kMemory
+                                      ? "Memory"
+                                      : "File";
+                         });
 
 TEST(Checkpoint, ResumeWithBalancedRoutingAndStaggeredMatrix) {
   auto cfg = ckpt_cfg();
