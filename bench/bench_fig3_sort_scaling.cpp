@@ -56,6 +56,47 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape (paper Fig. 3): both columns grow linearly in N"
       " (flat s/item), and ops/(N/DB) stays constant — no log factor.\n");
-  write_json_report(json_path, {{"fig3_sort_scaling", t}});
+
+  // Thread-parallel host execution at fixed N: the same EM simulation run
+  // with p real hosts, serial vs one thread per host. The counted parallel
+  // I/Os are per-host maxima of the same deterministic schedule, so the ops
+  // column must not move; the speedup column is wall(serial)/wall(threads)
+  // and exceeds 1 only with >= p cores to run the hosts on.
+  std::printf("\nThread-parallel hosts, N=2^17:\n\n");
+  Table tt({"p (hosts)", "threads", "wall (s)", "parallel I/Os", "speedup"});
+  {
+    const std::size_t n = 1u << 17;
+    auto keys = random_keys(42 + n, n);
+    for (std::uint32_t p : {2u, 4u}) {
+      double wall_serial = 0.0;
+      std::uint64_t ops_serial = 0;
+      std::vector<std::uint64_t> sorted_serial;
+      for (bool threads : {false, true}) {
+        auto cfg = standard_config(v, p, D, B);
+        cfg.use_threads = threads;
+        cgm::Machine em(cgm::EngineKind::kEm, cfg);
+        Timer tm;
+        auto sorted = algo::sort_keys(em, keys);
+        const double wall = tm.elapsed_s();
+        const auto ops = em.total().io.total_ops();
+        if (!threads) {
+          wall_serial = wall;
+          ops_serial = ops;
+          sorted_serial = std::move(sorted);
+          tt.row({fmt_u(p), "off", fmt(wall, 4), fmt_u(ops), "-"});
+        } else {
+          if (sorted != sorted_serial || ops != ops_serial) {
+            std::fprintf(stderr, "threaded run diverged at p=%u\n", p);
+            return 1;
+          }
+          tt.row({fmt_u(p), "on", fmt(wall, 4), fmt_u(ops),
+                  fmt(wall_serial / wall, 2) + "x"});
+        }
+      }
+    }
+  }
+  tt.print();
+  write_json_report(json_path, {{"fig3_sort_scaling", t},
+                                {"fig3_threaded_hosts", tt}});
   return 0;
 }

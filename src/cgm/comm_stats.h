@@ -36,6 +36,13 @@ struct StepComm {
   std::uint64_t h_bytes() const {
     return max_sent > max_recv ? max_sent : max_recv;
   }
+
+  // Thread-safety discipline: StepComm is only ever filled at the superstep
+  // barrier, single-threaded, from the per-group outcomes the worker threads
+  // left behind (and from SimNetwork's canonically-merged round statistics).
+  // Worker threads never touch a StepComm — which is why use_threads changes
+  // no field here, bit for bit (asserted by the threaded-determinism sweeps).
+  friend bool operator==(const StepComm&, const StepComm&) = default;
 };
 
 struct CommStats {

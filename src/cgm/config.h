@@ -57,7 +57,12 @@ struct MachineConfig {
   pdm::BackendKind backend = pdm::BackendKind::kMemory;
   std::string file_dir;  ///< directory for BackendKind::kFile
 
-  bool use_threads = false;  ///< run real processors on std::thread
+  /// Run real processors on std::thread, one per host, with crossing
+  /// batches posted into SimNetwork's per-link mailboxes as each store
+  /// group finishes (delivery overlaps compute; see net.mailbox_pump).
+  /// Guaranteed bit-identical to the serial schedule — outputs, IoStats,
+  /// StepComm, and NetStats alike (DESIGN.md §10).
+  bool use_threads = false;
 
   std::uint64_t seed = 1;  ///< seed for randomized algorithm steps
 

@@ -572,18 +572,51 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     }
   };
 
+  // Post one finished store group's crossing batches into the network's
+  // per-link mailboxes (p > 1, net enabled; called from the host's own
+  // worker thread). Records are serialized in (src_g, dst_g) order — each
+  // host drives its groups ascending and this loop scans dst_g ascending,
+  // so every link's mailbox stream is canonical whatever the thread
+  // interleaving. The batches stay in `out.by_owner`: deliver_staged still
+  // counts the h-relation from them at the barrier, single-threaded, which
+  // is what keeps StepComm accumulation race-free without shadow counters.
+  auto post_group = [&](std::uint32_t host, std::uint32_t g,
+                        ProcOutcome& out) {
+    for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
+      const auto& batch = out.by_owner[dst_g];
+      if (batch.empty() || group_host_[dst_g] == host) continue;
+      WriteArchive ar;
+      ar.put<std::uint32_t>(g);
+      ar.put<std::uint32_t>(dst_g);
+      ar.put<std::uint64_t>(batch.size());
+      for (const auto& m : batch) {
+        ar.put<std::uint32_t>(m.src);
+        ar.put<std::uint32_t>(m.dst);
+        ar.put_bytes(m.payload);
+      }
+      net_->post(host, group_host_[dst_g], ar.take());
+    }
+  };
+
   // Run one phase across all p store groups: one worker per *live* host,
   // each driving the groups currently assigned to it (ascending, so the
   // disk-op order per group is independent of the assignment). A fail-stop
   // crash (IoError kCrash) out of group g's own disks means machine g died —
   // adopted groups run disarmed and cannot crash — so crashes are collected
-  // into a DeadProcsError for the fail-over path; any other error rethrows.
+  // into a DeadProcsError for the fail-over path; any other error rethrows
+  // (the open mailbox round is aborted either way so the fault-coin cursors
+  // stay mode-independent — see SimNetwork::abort_round). With the network
+  // enabled each host posts a group's crossing batches as soon as the group
+  // finishes, so the pump overlaps delivery with the remaining compute.
   auto run_phase = [&](auto&& fn) {
     std::vector<ProcOutcome> outcomes(p);
     auto drive_host = [&](std::uint32_t host) {
       for (std::uint32_t g = 0; g < p; ++g) {
-        if (group_host_[g] == host) fn(g, outcomes[g]);
+        if (group_host_[g] != host) continue;
+        fn(g, outcomes[g]);
+        if (net_ && !outcomes[g].error) post_group(host, g, outcomes[g]);
       }
+      if (net_) net_->finish_sender(host);
     };
     std::vector<std::uint32_t> hosts;
     for (std::uint32_t h = 0; h < p; ++h) {
@@ -604,12 +637,14 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     for (std::uint32_t g = 0; g < p; ++g) {
       if (!outcomes[g].error) continue;
       if (!is_crash(outcomes[g].error)) {
+        if (net_) net_->abort_round();
         std::rethrow_exception(outcomes[g].error);
       }
       crashed.push_back(g);
       if (!cause) cause = outcomes[g].error;
     }
     if (!crashed.empty()) {
+      if (net_) net_->abort_round();
       if (cfg_.net.failover) throw DeadProcsError{std::move(crashed), cause};
       std::rethrow_exception(cause);
     }
@@ -620,15 +655,16 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   // *hosts*: a message crosses the network iff the hosts of its source and
   // destination groups differ (identical to the old src_r != dst_r when the
   // assignment is the identity). With the simulated network enabled, the
-  // crossing batches travel as MTU-sized fragments of a per-link record
-  // stream through the reliable protocol; NetStats picks up the wire tax
-  // (retransmissions,
-  // duplicates, corrupt frames) while StepComm keeps counting the delivered
-  // payload — the realized h-relation. Either way each store group then
-  // writes its arrivals, gathered in canonical (src_g-ascending) order and
+  // crossing batches already traveled during the phase: each host posted
+  // them (post_group) as MTU-fragmented per-link record streams through the
+  // reliable protocol, and collect() closes the round here at the barrier.
+  // NetStats picks up the wire tax (retransmissions, duplicates, corrupt
+  // frames) while StepComm keeps counting the delivered payload — the
+  // realized h-relation. Either way each store group then writes its
+  // arrivals, gathered in canonical (src_g-ascending) order and
   // stable-sorted by (src, dst), so the bytes on disk are bit-identical
-  // between the direct path, the lossy-network path, and any degraded-mode
-  // assignment.
+  // between the direct path, the lossy-network path, any degraded-mode
+  // assignment, and both use_threads modes.
   auto deliver_staged = [&](std::vector<ProcOutcome>& outcomes) {
     cgm::StepComm step;
     if (p > 1) {
@@ -654,54 +690,27 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
 
       // batches[dst_g][src_g]: the (src_g -> dst_g) message batch, however
       // it traveled. Filled directly for same-host pairs, decoded from
-      // network deliveries otherwise. Crossing batches are serialized as
-      // self-delimiting records into one byte stream per (host, host) link
-      // — records in (src_g, dst_g) order, so the stream is canonical —
-      // then fragmented into frames of at most net.mtu_bytes: a link fault
-      // costs one fragment's retransmission, not a whole superstep's batch.
+      // network deliveries otherwise. Crossing batches were already posted
+      // by post_group as self-delimiting records, one byte stream per
+      // (host, host) link — records in (src_g, dst_g) order, so the stream
+      // is canonical — which collect() fragments into frames of at most
+      // net.mtu_bytes: a link fault costs one fragment's retransmission,
+      // not a whole superstep's batch.
       std::vector<std::vector<std::vector<cgm::Message>>> batches(
           p, std::vector<std::vector<cgm::Message>>(p));
       const net::NetStats net_mark = net_ ? net_->stats() : net::NetStats{};
-      std::vector<WriteArchive> streams(net_ ? static_cast<std::size_t>(p) * p
-                                             : 0);
       for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
         for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
           auto& batch = outcomes[src_g].by_owner[dst_g];
           if (batch.empty()) continue;
-          const bool crossing = group_host_[src_g] != group_host_[dst_g];
-          if (net_ && crossing) {
-            WriteArchive& ar =
-                streams[static_cast<std::size_t>(group_host_[src_g]) * p +
-                        group_host_[dst_g]];
-            ar.put<std::uint32_t>(src_g);
-            ar.put<std::uint32_t>(dst_g);
-            ar.put<std::uint64_t>(batch.size());
-            for (const auto& m : batch) {
-              ar.put<std::uint32_t>(m.src);
-              ar.put<std::uint32_t>(m.dst);
-              ar.put_bytes(m.payload);
-            }
-          } else {
-            batches[dst_g][src_g] = std::move(batch);
-          }
+          if (net_ && group_host_[src_g] != group_host_[dst_g]) continue;
+          batches[dst_g][src_g] = std::move(batch);
         }
       }
       if (net_) {
-        const std::size_t mtu = cfg_.net.mtu_bytes;
-        for (std::uint32_t hs = 0; hs < p; ++hs) {
-          for (std::uint32_t hd = 0; hd < p; ++hd) {
-            auto bytes = streams[static_cast<std::size_t>(hs) * p + hd].take();
-            for (std::size_t off = 0; off < bytes.size(); off += mtu) {
-              const std::size_t len = std::min(mtu, bytes.size() - off);
-              net_->send(hs, hd,
-                         std::vector<std::byte>(bytes.begin() + off,
-                                                bytes.begin() + off + len));
-            }
-          }
-        }
         std::vector<std::vector<net::Delivery>> inboxes;
         try {
-          inboxes = net_->run_to_quiescence();
+          inboxes = net_->collect();
         } catch (const net::NetError&) {
           // Attribute the exhausted link before giving up: a fail-stopped
           // peer is a fail-over, an overwhelmed retry budget is an error.
@@ -810,6 +819,9 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         }
       }
       if (phase == Phase::kCompute) {
+        // Open the superstep's mailbox round: hosts post crossing batches
+        // as their groups finish; deliver_staged collects at the barrier.
+        if (net_) net_->begin_round();
         auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
           simulate_real_proc(r, round, o);
         });
@@ -829,6 +841,9 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
                                     << round);
         for (auto& rp : procs_) rp->contexts->flip();
         if (all_done) {
+          // A final round sends nothing (enforced above), so the open
+          // mailbox round is empty — close it without a delivery pass.
+          if (net_) net_->collect();
           if (cfg_.checkpointing) commit(round, Phase::kDone);
           record_step_io();
           ++phys_step_;
@@ -845,6 +860,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         if (cfg_.checkpointing) commit(round, phase);
         record_step_io();
       } else {
+        if (net_) net_->begin_round();
         auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
           regroup_real_proc(r, o);
         });

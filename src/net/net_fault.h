@@ -74,6 +74,12 @@ struct NetConfig {
   /// fragmented into frames of at most this size, so a fault costs one
   /// fragment's retransmission, not a whole batch's.
   std::size_t mtu_bytes = 64 * 1024;
+  /// Drain mailbox rounds on a background pump thread: an endpoint pair's
+  /// protocol simulation starts as soon as both of its hosts finished
+  /// posting, overlapping delivery with the other hosts' compute. Off, the
+  /// whole round is simulated inline at collect(). Bit-identical results
+  /// either way (see sim_network.h on pair decomposition).
+  bool mailbox_pump = true;
   /// Heartbeat rounds a processor may miss before it is declared dead.
   std::uint32_t heartbeat_miss_threshold = 3;
 };

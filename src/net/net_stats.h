@@ -7,6 +7,14 @@
 // communication bound speaks about the h-relation actually realized, and a
 // lossy link that forces three transmissions of one message still realizes
 // the same h-relation. The wire tax shows up here instead.
+//
+// Every counter is an additive sum over ordered links, and each link's
+// timeline is a pure function of (send content, fault plan) — see
+// sim_network.h on pair decomposition. Under concurrent delivery the
+// counters are therefore accumulated as per-pair shards, each written by
+// exactly one thread, and merged into the global NetStats only at the
+// round barrier in canonical pair order: race-free, and bit-identical to
+// the serial accumulation.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <queue>
 #include <sstream>
 #include <utility>
 
@@ -20,6 +22,21 @@ std::string net_error_what(std::uint32_t src, std::uint32_t dst,
   return os.str();
 }
 
+/// One in-flight frame of a pair-local simulation.
+struct Event {
+  std::uint64_t tick = 0;
+  std::uint64_t order = 0;  ///< enqueue order, breaks same-tick ties
+  std::vector<std::byte> frame;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.tick != b.tick ? a.tick > b.tick : a.order > b.order;
+  }
+};
+
+using EventQueue = std::priority_queue<Event, std::vector<Event>, EventLater>;
+
 }  // namespace
 
 NetError::NetError(std::uint32_t src, std::uint32_t dst,
@@ -32,14 +49,32 @@ SimNetwork::SimNetwork(std::uint32_t p, NetConfig cfg)
       injector_(p, cfg.fault),
       dead_(p, 0),
       links_(static_cast<std::size_t>(p) * p),
-      inbox_(p),
+      mail_(static_cast<std::size_t>(p) * p),
+      sender_done_(p, 0),
+      pair_out_(static_cast<std::size_t>(p) * p),
+      pair_done_(static_cast<std::size_t>(p) * p, 0),
       last_seen_(p, 0) {
   EMCGM_CHECK(p >= 1);
   EMCGM_CHECK(cfg_.retry.max_attempts >= 1);
 }
 
+SimNetwork::~SimNetwork() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  if (pump_.joinable()) pump_.join();
+}
+
+bool SimNetwork::round_active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return round_active_;
+}
+
 void SimNetwork::mark_dead(std::uint32_t proc) {
   EMCGM_CHECK(proc < p_);
+  EMCGM_CHECK_MSG(!round_active(), "mark_dead during an open mailbox round");
   if (dead_[proc]) return;
   dead_[proc] = 1;
   // Nothing further will be delivered to or acked by the dead processor;
@@ -53,6 +88,7 @@ void SimNetwork::mark_dead(std::uint32_t proc) {
 void SimNetwork::send(std::uint32_t src, std::uint32_t dst,
                       std::vector<std::byte> payload) {
   EMCGM_CHECK(src < p_ && dst < p_ && src != dst);
+  EMCGM_CHECK_MSG(!round_active(), "send during an open mailbox round");
   EMCGM_CHECK_MSG(!dead_[src] && !dead_[dst],
                   "send on a link with a dead endpoint: " << src << "->"
                                                           << dst);
@@ -74,119 +110,131 @@ std::uint64_t SimNetwork::rto(std::uint32_t attempts) const {
   return std::max(floor, cfg_.retry.backoff_us(attempts));
 }
 
-void SimNetwork::transmit(const Packet& pkt,
-                          const std::vector<std::byte>& frame) {
-  switch (pkt.type) {
-    case PacketType::kData:
-      ++stats_.data_sent;
-      break;
-    case PacketType::kAck:
-      ++stats_.acks_sent;
-      break;
-    case PacketType::kHeartbeat:
-      ++stats_.heartbeats_sent;
-      break;
-  }
-  stats_.wire_bytes += frame.size();
+// ------------------------------------------------------ pair simulation ----
 
-  const LinkVerdict v =
-      injector_.on_transmit(pkt.src, pkt.dst, pkt.type, frame.size());
-  if (v.drop) {
-    ++stats_.dropped;
-    return;
-  }
-  if (v.reordered) ++stats_.reordered;
-  if (v.delayed) ++stats_.delayed;
+void SimNetwork::run_pair(std::uint32_t lo, std::uint32_t hi,
+                          PairOutcome& out) {
+  EMCGM_ASSERT(lo < hi && hi < p_);
+  // Pair-local clock and wire. Only the four pieces of state a pair owns are
+  // touched below: its two LinkStates, its two injector coin cursors, and
+  // `out` — which is why pairs may run on any thread, in any order, with
+  // identical results (see the header's pair-decomposition argument).
+  EventQueue events;
+  std::uint64_t tick = 0;
+  std::uint64_t order_counter = 0;
 
-  const std::uint64_t base = cfg_.fault.base_latency_ticks;
-  std::vector<std::byte> copy = frame;
-  if (v.corrupt) {
-    ++stats_.corrupted;
-    copy[v.corrupt_pos % copy.size()] ^= std::byte{0x40};
-  }
-  events_.push(Event{tick_ + base + v.extra_delay, order_counter_++,
-                     std::move(copy)});
-  if (v.duplicate) {
-    ++stats_.duplicated;
-    events_.push(
-        Event{tick_ + base + v.dup_extra_delay, order_counter_++, frame});
-  }
-}
-
-void SimNetwork::handle_arrival(const std::vector<std::byte>& frame) {
-  const std::optional<Packet> parsed = parse_packet(frame);
-  if (!parsed) {
-    // In-flight corruption: the CRC (or frame structure) check rejected it.
-    // The sender's retransmission timer recovers.
-    ++stats_.corrupt_discarded;
-    return;
-  }
-  const Packet& pkt = *parsed;
-  if (pkt.src >= p_ || pkt.dst >= p_) return;
-  if (dead_[pkt.src] || dead_[pkt.dst]) return;
-
-  if (pkt.type == PacketType::kAck) {
-    // Cumulative ack for the data direction dst -> src of the ack frame.
-    LinkState& l = link(pkt.dst, pkt.src);
-    while (!l.window.empty() && l.window.front().attempts > 0 &&
-           l.window.front().seq <= pkt.seq) {
-      l.window.pop_front();
+  auto transmit = [&](const Packet& pkt, const std::vector<std::byte>& frame) {
+    switch (pkt.type) {
+      case PacketType::kData:
+        ++out.stats.data_sent;
+        break;
+      case PacketType::kAck:
+        ++out.stats.acks_sent;
+        break;
+      case PacketType::kHeartbeat:
+        ++out.stats.heartbeats_sent;
+        break;
     }
-    return;
-  }
-  if (pkt.type == PacketType::kHeartbeat) {
-    last_seen_[pkt.src] =
-        std::max(last_seen_[pkt.src], static_cast<std::int64_t>(pkt.seq));
-    return;
-  }
+    out.stats.wire_bytes += frame.size();
 
-  LinkState& l = link(pkt.src, pkt.dst);
-  if (pkt.seq < l.expect) {
-    ++stats_.duplicates_discarded;
-  } else if (pkt.seq == l.expect) {
-    ++stats_.delivered_messages;
-    stats_.delivered_payload_bytes += pkt.payload.size();
-    inbox_[pkt.dst].push_back(Delivery{pkt.src, std::move(parsed->payload)});
-    ++l.expect;
-    // Drain the resequencing buffer while it continues the in-order run.
-    for (auto it = l.ooo.find(l.expect); it != l.ooo.end();
-         it = l.ooo.find(l.expect)) {
-      ++stats_.delivered_messages;
-      stats_.delivered_payload_bytes += it->second.size();
-      inbox_[pkt.dst].push_back(Delivery{pkt.src, std::move(it->second)});
-      l.ooo.erase(it);
+    const LinkVerdict v =
+        injector_.on_transmit(pkt.src, pkt.dst, pkt.type, frame.size());
+    if (v.drop) {
+      ++out.stats.dropped;
+      return;
+    }
+    if (v.reordered) ++out.stats.reordered;
+    if (v.delayed) ++out.stats.delayed;
+
+    const std::uint64_t base = cfg_.fault.base_latency_ticks;
+    std::vector<std::byte> copy = frame;
+    if (v.corrupt) {
+      ++out.stats.corrupted;
+      copy[v.corrupt_pos % copy.size()] ^= std::byte{0x40};
+    }
+    events.push(Event{tick + base + v.extra_delay, order_counter++,
+                      std::move(copy)});
+    if (v.duplicate) {
+      ++out.stats.duplicated;
+      events.push(
+          Event{tick + base + v.dup_extra_delay, order_counter++, frame});
+    }
+  };
+
+  auto handle_arrival = [&](const std::vector<std::byte>& frame) {
+    const std::optional<Packet> parsed = parse_packet(frame);
+    if (!parsed) {
+      // In-flight corruption: the CRC (or frame structure) check rejected
+      // it. The sender's retransmission timer recovers.
+      ++out.stats.corrupt_discarded;
+      return;
+    }
+    const Packet& pkt = *parsed;
+    if (pkt.src >= p_ || pkt.dst >= p_) return;
+    if (dead_[pkt.src] || dead_[pkt.dst]) return;
+    // Heartbeats never travel through pair simulations (heartbeat_round is
+    // its own synchronous exchange); anything else here is ours.
+    if (pkt.type == PacketType::kHeartbeat) return;
+
+    if (pkt.type == PacketType::kAck) {
+      // Cumulative ack for the data direction dst -> src of the ack frame.
+      LinkState& l = link(pkt.dst, pkt.src);
+      while (!l.window.empty() && l.window.front().attempts > 0 &&
+             l.window.front().seq <= pkt.seq) {
+        l.window.pop_front();
+      }
+      return;
+    }
+
+    LinkState& l = link(pkt.src, pkt.dst);
+    std::vector<Delivery>& inbox = pkt.dst == lo ? out.to_lo : out.to_hi;
+    if (pkt.seq < l.expect) {
+      ++out.stats.duplicates_discarded;
+    } else if (pkt.seq == l.expect) {
+      ++out.stats.delivered_messages;
+      out.stats.delivered_payload_bytes += pkt.payload.size();
+      inbox.push_back(Delivery{pkt.src, std::move(parsed->payload)});
       ++l.expect;
-    }
-  } else {
-    if (l.ooo.emplace(pkt.seq, parsed->payload).second) {
-      ++stats_.out_of_order_buffered;
+      // Drain the resequencing buffer while it continues the in-order run.
+      for (auto it = l.ooo.find(l.expect); it != l.ooo.end();
+           it = l.ooo.find(l.expect)) {
+        ++out.stats.delivered_messages;
+        out.stats.delivered_payload_bytes += it->second.size();
+        inbox.push_back(Delivery{pkt.src, std::move(it->second)});
+        l.ooo.erase(it);
+        ++l.expect;
+      }
     } else {
-      ++stats_.duplicates_discarded;
+      if (l.ooo.emplace(pkt.seq, parsed->payload).second) {
+        ++out.stats.out_of_order_buffered;
+      } else {
+        ++out.stats.duplicates_discarded;
+      }
     }
-  }
 
-  // Cumulative ack (also on dup/out-of-order arrivals: a lost ack must not
-  // leave the sender retransmitting forever).
-  Packet ack;
-  ack.type = PacketType::kAck;
-  ack.src = pkt.dst;
-  ack.dst = pkt.src;
-  ack.seq = l.expect - 1;
-  transmit(ack, frame_packet(ack));
-}
+    // Cumulative ack (also on dup/out-of-order arrivals: a lost ack must not
+    // leave the sender retransmitting forever).
+    Packet ack;
+    ack.type = PacketType::kAck;
+    ack.src = pkt.dst;
+    ack.dst = pkt.src;
+    ack.seq = l.expect - 1;
+    transmit(ack, frame_packet(ack));
+  };
 
-std::vector<std::vector<Delivery>> SimNetwork::run_to_quiescence() {
-  tick_ = 0;
-  order_counter_ = 0;
+  // The pair's two directed links, in canonical order — the same relative
+  // order the old global event loop visited them in, so per-link coin
+  // consumption is unchanged.
+  const std::uint32_t ends[2][2] = {{lo, hi}, {hi, lo}};
 
   for (;;) {
     // Put queued-but-never-transmitted frames on the wire at the current
     // tick, in link order (canonical, hence deterministic).
-    for (std::size_t li = 0; li < links_.size(); ++li) {
-      for (Unacked& u : links_[li].window) {
+    for (const auto& e : ends) {
+      for (Unacked& u : link(e[0], e[1]).window) {
         if (u.attempts != 0) continue;
         u.attempts = 1;
-        u.last_sent = tick_;
+        u.last_sent = tick;
         const std::optional<Packet> pkt = parse_packet(u.frame);
         EMCGM_ASSERT(pkt.has_value());
         transmit(*pkt, u.frame);
@@ -194,62 +242,276 @@ std::vector<std::vector<Delivery>> SimNetwork::run_to_quiescence() {
     }
 
     const bool all_acked =
-        std::all_of(links_.begin(), links_.end(),
-                    [](const LinkState& l) { return l.window.empty(); });
+        link(lo, hi).window.empty() && link(hi, lo).window.empty();
     if (all_acked) break;
 
     // Advance the clock to the next thing that happens: an arrival or the
     // earliest retransmission deadline.
-    const std::uint64_t next_event = events_.empty() ? kNever
-                                                     : events_.top().tick;
+    const std::uint64_t next_event = events.empty() ? kNever
+                                                    : events.top().tick;
     std::uint64_t next_rto = kNever;
-    for (const LinkState& l : links_) {
-      for (const Unacked& u : l.window) {
+    for (const auto& e : ends) {
+      for (const Unacked& u : link(e[0], e[1]).window) {
         if (u.attempts == 0) continue;
         next_rto = std::min(next_rto, u.last_sent + rto(u.attempts));
       }
     }
     EMCGM_ASSERT(next_event != kNever || next_rto != kNever);
-    tick_ = std::min(next_event, next_rto);
+    tick = std::min(next_event, next_rto);
 
     // Arrivals first: an ack landing at this tick cancels a same-tick
     // retransmission.
-    while (!events_.empty() && events_.top().tick <= tick_) {
-      const std::vector<std::byte> frame = std::move(events_.top().frame);
-      events_.pop();
+    while (!events.empty() && events.top().tick <= tick) {
+      const std::vector<std::byte> frame = std::move(events.top().frame);
+      events.pop();
       handle_arrival(frame);
     }
 
     // Then retransmissions that are (still) due.
-    for (std::size_t li = 0; li < links_.size(); ++li) {
-      LinkState& l = links_[li];
+    for (const auto& e : ends) {
+      LinkState& l = link(e[0], e[1]);
       for (Unacked& u : l.window) {
-        if (u.attempts == 0 || u.last_sent + rto(u.attempts) > tick_) continue;
+        if (u.attempts == 0 || u.last_sent + rto(u.attempts) > tick) continue;
         if (u.attempts >= cfg_.retry.max_attempts) {
-          const std::uint32_t src = static_cast<std::uint32_t>(li / p_);
-          const std::uint32_t dst = static_cast<std::uint32_t>(li % p_);
-          throw NetError(src, dst, u.attempts);
+          // Budget exhausted: record and stop the pair where it stands.
+          // reset_links() clears the leftover windows before any replay.
+          out.error = std::make_exception_ptr(NetError(e[0], e[1],
+                                                       u.attempts));
+          return;
         }
         ++u.attempts;
-        u.last_sent = tick_;
-        ++stats_.retransmissions;
+        u.last_sent = tick;
+        ++out.stats.retransmissions;
         const std::optional<Packet> pkt = parse_packet(u.frame);
         EMCGM_ASSERT(pkt.has_value());
         transmit(*pkt, u.frame);
       }
     }
   }
-
   // Quiescent: every payload delivered and acked. In-flight leftovers are
-  // duplicates and stale acks — drop them.
-  while (!events_.empty()) events_.pop();
-
-  std::vector<std::vector<Delivery>> out = std::move(inbox_);
-  inbox_.assign(p_, {});
-  return out;
+  // duplicates and stale acks — dropped with the pair-local queue.
 }
 
+std::vector<std::vector<Delivery>> SimNetwork::finish_pairs(
+    std::vector<PairOutcome>& outs) {
+  // Merge statistics in canonical pair order. Every counter is an additive
+  // total, so the merged value equals what one global event loop would have
+  // counted — order only matters for reproducibility of intermediate reads.
+  for (std::uint32_t lo = 0; lo < p_; ++lo) {
+    for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
+      stats_ += outs[slot(lo, hi)].stats;
+    }
+  }
+  for (std::uint32_t lo = 0; lo < p_; ++lo) {
+    for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
+      if (outs[slot(lo, hi)].error) {
+        std::rethrow_exception(outs[slot(lo, hi)].error);
+      }
+    }
+  }
+  // Canonical inbox assembly: per destination, per-link FIFO streams merged
+  // in src-ascending order. (Callers that need a different order sort the
+  // parsed records themselves — the engine stable-sorts by (src, dst).)
+  std::vector<std::vector<Delivery>> inbox(p_);
+  for (std::uint32_t dst = 0; dst < p_; ++dst) {
+    for (std::uint32_t src = 0; src < p_; ++src) {
+      if (src == dst) continue;
+      PairOutcome& o = outs[slot(std::min(src, dst), std::max(src, dst))];
+      std::vector<Delivery>& from = dst < src ? o.to_lo : o.to_hi;
+      for (Delivery& d : from) inbox[dst].push_back(std::move(d));
+      from.clear();
+    }
+  }
+  return inbox;
+}
+
+std::vector<std::vector<Delivery>> SimNetwork::run_to_quiescence() {
+  EMCGM_CHECK_MSG(!round_active(),
+                  "run_to_quiescence during an open mailbox round");
+  std::vector<PairOutcome> outs(static_cast<std::size_t>(p_) * p_);
+  for (std::uint32_t lo = 0; lo < p_; ++lo) {
+    for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
+      run_pair(lo, hi, outs[slot(lo, hi)]);
+    }
+  }
+  return finish_pairs(outs);
+}
+
+// --------------------------------------------------------- mailbox round ----
+
+void SimNetwork::note_sender_done_locked(std::uint32_t s) {
+  EMCGM_ASSERT(!sender_done_[s]);
+  sender_done_[s] = 1;
+  // A pair becomes runnable when its *second* endpoint finishes, so each
+  // pair is enqueued exactly once.
+  bool woke = false;
+  for (std::uint32_t t = 0; t < p_; ++t) {
+    if (t == s || !sender_done_[t]) continue;
+    ready_.push_back(
+        static_cast<std::uint32_t>(slot(std::min(s, t), std::max(s, t))));
+    woke = true;
+  }
+  if (woke) work_cv_.notify_one();
+}
+
+void SimNetwork::run_pair_slot(std::uint32_t lo, std::uint32_t hi,
+                               std::unique_lock<std::mutex>& lk) {
+  // Take ownership of the pair's mailboxes, then simulate without the lock:
+  // the pair's links and coin cursors are touched by no one else until
+  // pair_done_ is published below.
+  std::vector<std::byte> lo_hi = std::move(mail_[slot(lo, hi)]);
+  std::vector<std::byte> hi_lo = std::move(mail_[slot(hi, lo)]);
+  mail_[slot(lo, hi)].clear();
+  mail_[slot(hi, lo)].clear();
+  lk.unlock();
+
+  load_pair_mail(lo, hi, std::move(lo_hi), std::move(hi_lo));
+  run_pair(lo, hi, pair_out_[slot(lo, hi)]);
+
+  lk.lock();
+  pair_done_[slot(lo, hi)] = 1;
+  EMCGM_ASSERT(pairs_left_ > 0);
+  if (--pairs_left_ == 0) done_cv_.notify_all();
+}
+
+void SimNetwork::load_pair_mail(std::uint32_t lo, std::uint32_t hi,
+                                std::vector<std::byte> lo_to_hi,
+                                std::vector<std::byte> hi_to_lo) {
+  const std::size_t mtu = cfg_.mtu_bytes;
+  EMCGM_CHECK(mtu > 0);
+  const std::uint32_t ends[2][2] = {{lo, hi}, {hi, lo}};
+  const std::vector<std::byte>* streams[2] = {&lo_to_hi, &hi_to_lo};
+  for (int d = 0; d < 2; ++d) {
+    const std::vector<std::byte>& bytes = *streams[d];
+    LinkState& l = link(ends[d][0], ends[d][1]);
+    for (std::size_t off = 0; off < bytes.size(); off += mtu) {
+      const std::size_t len = std::min(mtu, bytes.size() - off);
+      Packet pkt;
+      pkt.type = PacketType::kData;
+      pkt.src = ends[d][0];
+      pkt.dst = ends[d][1];
+      pkt.seq = l.next_seq++;
+      pkt.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+      l.window.push_back(Unacked{pkt.seq, frame_packet(pkt), 0, 0});
+    }
+  }
+}
+
+void SimNetwork::pump_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
+    if (shutdown_) return;
+    const std::uint32_t s = ready_.front();
+    ready_.pop_front();
+    run_pair_slot(s / p_, s % p_, lk);
+  }
+}
+
+void SimNetwork::begin_round() {
+  std::unique_lock<std::mutex> lk(mu_);
+  EMCGM_CHECK_MSG(!round_active_, "begin_round with a round already open");
+  round_active_ = true;
+  std::fill(sender_done_.begin(), sender_done_.end(), char{0});
+  for (auto& m : mail_) m.clear();
+  for (auto& o : pair_out_) o = PairOutcome{};
+  std::fill(pair_done_.begin(), pair_done_.end(), char{0});
+  ready_.clear();
+  pairs_left_ = p_ * (p_ - 1) / 2;
+  if (cfg_.mailbox_pump && p_ > 1 && !pump_.joinable()) {
+    pump_ = std::thread([this] { pump_main(); });
+  }
+  // Dead processors post nothing: their pairs are runnable immediately
+  // (trivially empty — zero frames, zero fault coins).
+  for (std::uint32_t q = 0; q < p_; ++q) {
+    if (dead_[q]) note_sender_done_locked(q);
+  }
+}
+
+void SimNetwork::post(std::uint32_t src, std::uint32_t dst,
+                      std::vector<std::byte> bytes) {
+  EMCGM_CHECK(src < p_ && dst < p_ && src != dst);
+  if (bytes.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  EMCGM_CHECK_MSG(round_active_, "post outside a mailbox round");
+  EMCGM_CHECK_MSG(!sender_done_[src], "post after finish_sender");
+  EMCGM_CHECK_MSG(!dead_[src] && !dead_[dst],
+                  "post on a link with a dead endpoint: " << src << "->"
+                                                          << dst);
+  auto& box = mail_[slot(src, dst)];
+  box.insert(box.end(), bytes.begin(), bytes.end());
+}
+
+void SimNetwork::finish_sender(std::uint32_t src) {
+  EMCGM_CHECK(src < p_);
+  std::lock_guard<std::mutex> lk(mu_);
+  EMCGM_CHECK_MSG(round_active_, "finish_sender outside a mailbox round");
+  EMCGM_CHECK_MSG(!sender_done_[src], "finish_sender called twice");
+  note_sender_done_locked(src);
+}
+
+std::vector<std::vector<Delivery>> SimNetwork::collect() {
+  std::unique_lock<std::mutex> lk(mu_);
+  EMCGM_CHECK_MSG(round_active_, "collect outside a mailbox round");
+  for (std::uint32_t s = 0; s < p_; ++s) {
+    EMCGM_CHECK_MSG(sender_done_[s],
+                    "collect before sender " << s << " finished");
+  }
+  if (pump_.joinable()) {
+    done_cv_.wait(lk, [&] { return pairs_left_ == 0; });
+  } else {
+    while (pairs_left_ > 0) {
+      EMCGM_ASSERT(!ready_.empty());
+      const std::uint32_t s = ready_.front();
+      ready_.pop_front();
+      run_pair_slot(s / p_, s % p_, lk);
+    }
+  }
+  std::vector<PairOutcome> outs = std::move(pair_out_);
+  pair_out_.assign(static_cast<std::size_t>(p_) * p_, PairOutcome{});
+  ready_.clear();
+  round_active_ = false;
+  lk.unlock();
+  return finish_pairs(outs);
+}
+
+void SimNetwork::abort_round() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!round_active_) return;
+  for (std::uint32_t s = 0; s < p_; ++s) {
+    if (!sender_done_[s]) note_sender_done_locked(s);
+  }
+  if (pump_.joinable()) {
+    done_cv_.wait(lk, [&] { return pairs_left_ == 0; });
+  } else {
+    while (pairs_left_ > 0) {
+      EMCGM_ASSERT(!ready_.empty());
+      const std::uint32_t s = ready_.front();
+      ready_.pop_front();
+      run_pair_slot(s / p_, s % p_, lk);
+    }
+  }
+  std::vector<PairOutcome> outs = std::move(pair_out_);
+  pair_out_.assign(static_cast<std::size_t>(p_) * p_, PairOutcome{});
+  ready_.clear();
+  round_active_ = false;
+  lk.unlock();
+  // Statistics still merge (the wire traffic happened; both modes count it
+  // identically); deliveries and link errors of the abandoned round do not
+  // survive — the superstep is being replayed.
+  for (std::uint32_t lo = 0; lo < p_; ++lo) {
+    for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
+      stats_ += outs[slot(lo, hi)].stats;
+    }
+  }
+}
+
+// ------------------------------------------------------------ liveness ----
+
 std::vector<std::uint32_t> SimNetwork::heartbeat_round(std::uint64_t step) {
+  EMCGM_CHECK_MSG(!round_active(),
+                  "heartbeat_round during an open mailbox round");
   ++stats_.heartbeat_rounds;
   if (!hb_init_) {
     hb_init_ = true;
@@ -298,14 +560,15 @@ std::vector<std::uint32_t> SimNetwork::heartbeat_round(std::uint64_t step) {
 }
 
 void SimNetwork::reset_links() {
+  EMCGM_CHECK_MSG(!round_active(), "reset_links during an open mailbox round");
   for (LinkState& l : links_) {
     l.window.clear();
     l.ooo.clear();
     l.next_seq = 1;
     l.expect = 1;
   }
-  while (!events_.empty()) events_.pop();
-  inbox_.assign(p_, {});
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& m : mail_) m.clear();
 }
 
 std::vector<std::uint32_t> SimNetwork::probe_dead() {

@@ -13,11 +13,37 @@
 //     (seq above it), so the application sees each payload exactly once, in
 //     send order, whatever the link did.
 //
-// run_to_quiescence() drives a virtual clock until every queued payload is
-// delivered and acked. All randomness comes from the LinkFaultInjector's
-// seeded coins and all ties break on (tick, enqueue order), so a run is a
-// pure function of (plan, send sequence) — the property every fail-over test
-// leans on.
+// Pair decomposition. An ordered link (s, d) interacts only with its reverse
+// (d, s): data one way, acks the other, and the injector's fault coins are
+// per-ordered-link streams indexed by that link's own transmission count.
+// The protocol of the whole network is therefore the composition of
+// independent *endpoint-pair* simulations {a, b}, each with its own virtual
+// clock, and every per-link timeline (hence every NetStats counter, which is
+// a sum over links) is a pure function of (per-link send content, fault
+// plan) — independent of which thread runs the pair, or when. That is the
+// load-bearing property of this file: it is what lets delivery overlap
+// compute without costing bit-for-bit determinism.
+//
+// Two ways to drive a round:
+//
+//   * send() + run_to_quiescence(): queue whole payloads, then simulate all
+//     pairs inline in canonical order (unit tests, simple callers).
+//   * the mailbox path — begin_round(); concurrent post() of serialized
+//     record-stream chunks onto per-link mailboxes as each store group
+//     finishes; finish_sender() when a host has posted everything; then
+//     collect(). A pair becomes runnable as soon as both of its endpoints
+//     finished, so with the pump thread (NetConfig::mailbox_pump) delivery
+//     of early finishers overlaps the compute of slow ones. collect()
+//     fragments each mailbox stream into MTU-sized frames, simulates every
+//     remaining pair, merges statistics in canonical pair order, and
+//     returns per-destination inboxes (per-link FIFO, links merged in
+//     src-ascending order). Pump on or off, threads or not: the returned
+//     bytes and the statistics are identical.
+//
+// All randomness comes from the LinkFaultInjector's seeded coins and all
+// ties break on (tick, enqueue order) within a pair, so a run is a pure
+// function of (plan, send sequence) — the property every fail-over and
+// threaded-determinism test leans on.
 //
 // Fail-over support: heartbeat_round() implements an eventually-perfect
 // failure detector (heartbeats are subject only to fail-stop; see
@@ -26,10 +52,13 @@
 // a retransmission budget exhausts mid-round.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <map>
-#include <queue>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "net/net_fault.h"
@@ -63,13 +92,17 @@ struct Delivery {
 class SimNetwork {
  public:
   SimNetwork(std::uint32_t p, NetConfig cfg);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   /// Advance the shared fault clock (fail-stop triggers are step-based).
   void set_step(std::uint64_t step) { injector_.set_step(step); }
 
   /// Administratively remove a processor (engine-side fail-over decision):
   /// it neither sends nor receives from now on, and the failure detector
-  /// stops tracking it.
+  /// stops tracking it. Must not be called while a mailbox round is open.
   void mark_dead(std::uint32_t proc);
   bool dead(std::uint32_t proc) const { return dead_[proc] != 0; }
 
@@ -77,10 +110,49 @@ class SimNetwork {
   void send(std::uint32_t src, std::uint32_t dst,
             std::vector<std::byte> payload);
 
-  /// Drive the virtual clock until every queued payload is delivered and
-  /// acked. Returns per-destination deliveries in delivery order (per-link
-  /// FIFO). Throws NetError when a frame's retransmission budget exhausts.
+  /// Simulate every endpoint pair to quiescence, inline and in canonical
+  /// order. Returns per-destination deliveries (per-link FIFO; links merged
+  /// in src-ascending order). Throws the canonically-first NetError when a
+  /// frame's retransmission budget exhausts — statistics of every pair,
+  /// including the failed one, are merged first.
   std::vector<std::vector<Delivery>> run_to_quiescence();
+
+  // ---- mailbox round (the engine's concurrent delivery path) ------------
+
+  /// Open a mailbox round. Until collect(), post()/finish_sender() may be
+  /// called from any thread; with NetConfig::mailbox_pump a background pump
+  /// simulates each endpoint pair as soon as both of its senders finished.
+  void begin_round();
+
+  /// Thread-safe: append a chunk of the serialized record stream to the
+  /// ordered link src -> dst. Chunks from one src must be posted in that
+  /// sender's program order (they are concatenated verbatim).
+  void post(std::uint32_t src, std::uint32_t dst, std::vector<std::byte> bytes);
+
+  /// Thread-safe: `src` will post nothing further this round. Every pair
+  /// whose other endpoint already finished becomes runnable.
+  void finish_sender(std::uint32_t src);
+
+  /// Close the round: fragment every mailbox stream into frames of at most
+  /// NetConfig::mtu_bytes, simulate every pair not already pumped (waiting
+  /// on the pump for the rest), merge statistics in canonical pair order,
+  /// and return per-destination inboxes exactly like run_to_quiescence().
+  /// Requires every live sender to have finished. Throws the canonically-
+  /// first NetError of the round after merging all statistics.
+  std::vector<std::vector<Delivery>> collect();
+
+  /// Abort an open mailbox round after a compute-phase failure: mark every
+  /// sender finished, simulate every pair on whatever was posted, merge the
+  /// statistics canonically, and discard deliveries and link errors. Running
+  /// the pairs (rather than dropping the mailboxes) keeps the injector's
+  /// per-link coin cursors identical whether or not the pump already drained
+  /// some pairs before the abort was noticed — so threaded and serial runs
+  /// stay bit-identical across fail-over replays. No-op without an open
+  /// round.
+  void abort_round();
+
+  /// True between begin_round() and the end of collect()/abort_round().
+  bool round_active() const;
 
   /// One heartbeat round at physical superstep `step`: every live processor
   /// beats to every other. Returns the processors newly declared dead by the
@@ -93,10 +165,10 @@ class SimNetwork {
   std::vector<std::uint32_t> probe_dead();
 
   /// Abandon the current protocol epoch: drop every in-flight frame, sender
-  /// window, resequencing buffer, and undelivered inbox entry, and rewind
-  /// all sequence numbers to 1. Called when a superstep's delivery aborted
-  /// (NetError -> fail-over) and will be replayed from a checkpoint — the
-  /// replay must not receive leftovers of the aborted round.
+  /// window, resequencing buffer, and mailbox, and rewind all sequence
+  /// numbers to 1. Called when a superstep's delivery aborted (NetError ->
+  /// fail-over) and will be replayed from a checkpoint — the replay must not
+  /// receive leftovers of the aborted round. Not callable mid-round.
   void reset_links();
 
   const NetStats& stats() const { return stats_; }
@@ -117,34 +189,72 @@ class SimNetwork {
     std::map<std::uint64_t, std::vector<std::byte>> ooo;  ///< resequencing
   };
 
-  struct Event {
-    std::uint64_t tick = 0;
-    std::uint64_t order = 0;  ///< enqueue counter: deterministic tie-break
-    std::vector<std::byte> frame;
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.tick != b.tick ? a.tick > b.tick : a.order > b.order;
-    }
+  /// Everything one endpoint-pair simulation produced. Written by exactly
+  /// one thread (pump or collector) while it owns the pair, published to the
+  /// collector under mu_ — the shard-merge discipline that keeps NetStats
+  /// accumulation race-free without changing any reported total.
+  struct PairOutcome {
+    NetStats stats;
+    std::vector<Delivery> to_lo;  ///< deliveries to the lower endpoint
+    std::vector<Delivery> to_hi;  ///< deliveries to the higher endpoint
+    std::exception_ptr error;     ///< NetError, if the pair exhausted
   };
 
   LinkState& link(std::uint32_t src, std::uint32_t dst) {
     return links_[static_cast<std::size_t>(src) * p_ + dst];
   }
-  void transmit(const Packet& pkt, const std::vector<std::byte>& frame);
-  void handle_arrival(const std::vector<std::byte>& frame);
+  std::size_t slot(std::uint32_t lo, std::uint32_t hi) const {
+    return static_cast<std::size_t>(lo) * p_ + hi;
+  }
+
+  /// Move the two mailbox streams of pair {lo, hi} into MTU-sized frames on
+  /// the corresponding link windows. Caller owns the pair.
+  void load_pair_mail(std::uint32_t lo, std::uint32_t hi,
+                      std::vector<std::byte> lo_to_hi,
+                      std::vector<std::byte> hi_to_lo);
+
+  /// Simulate pair {lo, hi} to quiescence with a pair-local clock and event
+  /// queue. Deterministic given the pair's window contents and the fault
+  /// plan. On budget exhaustion records the NetError in `out` and stops the
+  /// pair (reset_links clears the leftovers).
+  void run_pair(std::uint32_t lo, std::uint32_t hi, PairOutcome& out);
+
+  /// Merge pair statistics into stats_ in canonical order, rethrow the
+  /// canonically-first pair error, else assemble per-destination inboxes.
+  std::vector<std::vector<Delivery>> finish_pairs(
+      std::vector<PairOutcome>& outs);
+
   std::uint64_t rto(std::uint32_t attempts) const;
+
+  void pump_main();
+  // Locked helpers for the mailbox round (mu_ held).
+  void note_sender_done_locked(std::uint32_t s);
+  void run_pair_slot(std::uint32_t lo, std::uint32_t hi,
+                     std::unique_lock<std::mutex>& lk);
 
   std::uint32_t p_;
   NetConfig cfg_;
   LinkFaultInjector injector_;
   std::vector<char> dead_;
   std::vector<LinkState> links_;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
-  std::uint64_t order_counter_ = 0;
-  std::uint64_t tick_ = 0;
-  std::vector<std::vector<Delivery>> inbox_;
   NetStats stats_;
+
+  // Mailbox round state, guarded by mu_. pair slots use slot(lo, hi), lo <
+  // hi; a pair's PairOutcome/LinkStates are owned by whichever thread
+  // dequeued it from ready_ and are published back by setting pair_done_
+  // under mu_.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< pump: a pair became runnable
+  std::condition_variable done_cv_;  ///< collector: all pairs simulated
+  std::vector<std::vector<std::byte>> mail_;  ///< per ordered link
+  std::vector<char> sender_done_;
+  std::vector<PairOutcome> pair_out_;
+  std::vector<char> pair_done_;
+  std::deque<std::uint32_t> ready_;  ///< runnable pair slots, FIFO
+  std::uint32_t pairs_left_ = 0;
+  bool round_active_ = false;
+  bool shutdown_ = false;
+  std::thread pump_;
 
   // Failure detector: last superstep each processor was heard at.
   bool hb_init_ = false;

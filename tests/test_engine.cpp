@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <optional>
 
 #include "algo/sort.h"
 #include "cgm/machine.h"
@@ -328,16 +329,32 @@ TEST(EmEngine, FileBackendMatchesMemoryBackend) {
 }
 
 TEST(EmEngine, ThreadedMatchesSequential) {
+  // use_threads must be invisible in every counted number, not just the
+  // output: identical IoStats and identical per-step StepComm between modes,
+  // with and without the simulated network.
   auto keys = random_keys(6, 4000);
-  cgm::MachineConfig cfg;
-  cfg.v = 8;
-  cfg.p = 4;
-  cgm::Machine seq(cgm::EngineKind::kEm, cfg);
-  cfg.use_threads = true;
-  cgm::Machine thr(cgm::EngineKind::kEm, cfg);
-  EXPECT_EQ(algo::sort_keys(seq, keys), algo::sort_keys(thr, keys));
-  EXPECT_EQ(seq.total().io.total_ops(), thr.total().io.total_ops());
-  EXPECT_EQ(seq.total().comm.total_bytes(), thr.total().comm.total_bytes());
+  for (std::uint32_t p : {2u, 4u}) {
+    for (bool net : {false, true}) {
+      cgm::MachineConfig cfg;
+      cfg.v = 8;
+      cfg.p = p;
+      cfg.net.enabled = net;
+      cgm::Machine seq(cgm::EngineKind::kEm, cfg);
+      cfg.use_threads = true;
+      cgm::Machine thr(cgm::EngineKind::kEm, cfg);
+      EXPECT_EQ(algo::sort_keys(seq, keys), algo::sort_keys(thr, keys))
+          << "p=" << p << " net=" << net;
+      EXPECT_EQ(seq.total().io, thr.total().io) << "p=" << p << " net=" << net;
+      const auto& sc = seq.last_result().comm.steps;
+      const auto& tc = thr.last_result().comm.steps;
+      ASSERT_EQ(sc.size(), tc.size()) << "p=" << p << " net=" << net;
+      for (std::size_t i = 0; i < sc.size(); ++i) {
+        EXPECT_EQ(sc[i], tc[i]) << "p=" << p << " net=" << net << " step " << i;
+      }
+      EXPECT_EQ(seq.last_result().net, thr.last_result().net)
+          << "p=" << p << " net=" << net;
+    }
+  }
 }
 
 TEST(EmEngine, MultiProcessorSplitsIoAcrossRealProcs) {
@@ -436,9 +453,28 @@ TEST(Equivalence, SortAllConfigsAgree) {
         if (layout == cgm::MsgLayout::kStaggeredMatrix) {
           cfg.staggered_slot_bytes = 1 << 16;
         }
-        cgm::Machine m(cgm::EngineKind::kEm, cfg);
-        EXPECT_EQ(algo::sort_keys(m, keys), want)
-            << "balanced=" << balanced << " p=" << p;
+        // p > 1 configs also sweep the threaded driver; both modes must
+        // agree with the native engine and with each other on every counted
+        // I/O and communication total.
+        std::optional<pdm::IoStats> serial_io;
+        std::optional<std::uint64_t> serial_comm;
+        for (bool threads : {false, true}) {
+          if (threads && p == 1) continue;
+          cfg.use_threads = threads;
+          cgm::Machine m(cgm::EngineKind::kEm, cfg);
+          EXPECT_EQ(algo::sort_keys(m, keys), want)
+              << "balanced=" << balanced << " p=" << p
+              << " threads=" << threads;
+          if (!threads) {
+            serial_io = m.total().io;
+            serial_comm = m.total().comm.total_bytes();
+          } else {
+            EXPECT_EQ(m.total().io, *serial_io)
+                << "balanced=" << balanced << " p=" << p;
+            EXPECT_EQ(m.total().comm.total_bytes(), *serial_comm)
+                << "balanced=" << balanced << " p=" << p;
+          }
+        }
       }
     }
   }

@@ -423,33 +423,50 @@ TEST(Checkpoint, ResumeWithBalancedRoutingAndStaggeredMatrix) {
 }
 
 TEST(Checkpoint, ResumeWithMultipleRealProcessors) {
-  auto cfg = ckpt_cfg();
-  cfg.p = 2;
-  cfg.use_threads = true;
+  // Both use_threads modes run the whole crash/resume sweep; the reference
+  // outputs and I/O totals must be bit-identical between modes, and every
+  // resumed run must reproduce them.
   const auto keys = sort_keys_input(600);
   algo::SampleSortProgram<std::uint64_t> prog;
 
-  em::EmEngine ref(cfg);
-  const auto expected = ref.run(prog, keyed_inputs(4, keys));
+  std::vector<cgm::PartitionSet> serial_expected;
+  std::uint64_t serial_ops = 0;
+  for (bool threads : {false, true}) {
+    auto cfg = ckpt_cfg();
+    cfg.p = 2;
+    cfg.use_threads = threads;
 
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i + 1 < ref.last_result().io_per_step.size(); ++i) {
-    cum += ref.last_result().io_per_step[i].total_ops();
-    auto crash_cfg = cfg;
-    // Per-proc op counters: halve so the crash lands mid-run on each disk
-    // subsystem (both procs do roughly symmetric I/O).
-    crash_cfg.fault.crash_after_ops = cum / 2 + 1;
-    em::EmEngine e(crash_cfg);
-    bool crashed = false;
-    try {
-      (void)e.run(prog, keyed_inputs(4, keys));
-    } catch (const IoError&) {
-      crashed = true;
+    em::EmEngine ref(cfg);
+    const auto expected = ref.run(prog, keyed_inputs(4, keys));
+    if (!threads) {
+      serial_expected = expected;
+      serial_ops = ref.last_result().io.total_ops();
+    } else {
+      EXPECT_TRUE(same_outputs(serial_expected, expected));
+      EXPECT_EQ(ref.last_result().io.total_ops(), serial_ops);
     }
-    if (!crashed || !e.has_checkpoint()) continue;
-    e.disarm_faults();
-    const auto got = e.resume(prog);
-    EXPECT_TRUE(same_outputs(expected, got)) << "boundary " << i;
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < ref.last_result().io_per_step.size();
+         ++i) {
+      cum += ref.last_result().io_per_step[i].total_ops();
+      auto crash_cfg = cfg;
+      // Per-proc op counters: halve so the crash lands mid-run on each disk
+      // subsystem (both procs do roughly symmetric I/O).
+      crash_cfg.fault.crash_after_ops = cum / 2 + 1;
+      em::EmEngine e(crash_cfg);
+      bool crashed = false;
+      try {
+        (void)e.run(prog, keyed_inputs(4, keys));
+      } catch (const IoError&) {
+        crashed = true;
+      }
+      if (!crashed || !e.has_checkpoint()) continue;
+      e.disarm_faults();
+      const auto got = e.resume(prog);
+      EXPECT_TRUE(same_outputs(expected, got))
+          << "boundary " << i << " threads=" << threads;
+    }
   }
 }
 

@@ -50,7 +50,8 @@ bool same_outputs(const std::vector<cgm::PartitionSet>& a,
   return true;
 }
 
-cgm::MachineConfig net_cfg(std::uint32_t v, std::uint32_t p) {
+cgm::MachineConfig net_cfg(std::uint32_t v, std::uint32_t p,
+                           bool threads = false) {
   cgm::MachineConfig cfg;
   cfg.v = v;
   cfg.p = p;
@@ -58,6 +59,7 @@ cgm::MachineConfig net_cfg(std::uint32_t v, std::uint32_t p) {
   cfg.disk.block_bytes = 512;
   cfg.checkpointing = true;
   cfg.net.enabled = true;
+  cfg.use_threads = threads;
   return cfg;
 }
 
@@ -307,59 +309,85 @@ TEST(NetEngine, LossySweepDeliversIdenticalPayload) {
   ASSERT_GT(direct_bytes, 0u);
   EXPECT_EQ(direct.last_result().net.wire_bytes, 0u);
 
-  // Baseline 2: clean simulated network.
-  em::EmEngine clean(net_cfg(8, 2));
-  EXPECT_TRUE(same_outputs(expected, clean.run(prog, sort_inputs(8, keys))));
-  EXPECT_EQ(clean.last_result().comm.total_bytes(), direct_bytes);
-  EXPECT_EQ(clean.last_result().net.retransmissions, 0u);
-  EXPECT_GT(clean.last_result().net.wire_bytes, 0u);
+  // The whole sweep runs serial and threaded; every NetStats must be
+  // bit-identical between the two modes (the wire protocol cannot tell who
+  // drove it — see sim_network.h on pair decomposition).
+  std::vector<net::NetStats> serial_stats;
+  for (bool threads : {false, true}) {
+    // Baseline 2: clean simulated network.
+    em::EmEngine clean(net_cfg(8, 2, threads));
+    EXPECT_TRUE(same_outputs(expected, clean.run(prog, sort_inputs(8, keys))));
+    EXPECT_EQ(clean.last_result().comm.total_bytes(), direct_bytes);
+    EXPECT_EQ(clean.last_result().net.retransmissions, 0u);
+    EXPECT_GT(clean.last_result().net.wire_bytes, 0u);
+    std::vector<net::NetStats> stats;
+    stats.push_back(clean.last_result().net);
 
-  // Lossy sweep up to 10%: the application-visible numbers must not move.
-  std::uint64_t faults_fired = 0, retransmitted = 0;
-  for (double loss : {0.02, 0.05, 0.10}) {
-    auto cfg = net_cfg(8, 2);
-    cfg.net.fault.seed = 555;
-    cfg.net.fault.drop_prob = loss;
-    cfg.net.fault.dup_prob = loss / 2;
-    cfg.net.fault.corrupt_prob = loss / 2;
-    cfg.net.fault.reorder_prob = loss;
-    cfg.net.retry.max_attempts = 16;
-    em::EmEngine e(cfg);
-    EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))))
-        << "loss " << loss;
-    const auto& res = e.last_result();
-    // Delivered payload accounting is transport-independent...
-    EXPECT_EQ(res.comm.total_bytes(), direct_bytes) << "loss " << loss;
-    // ...and a faulty wire only ever does more work, never less.
-    EXPECT_GE(res.net.wire_bytes, clean.last_result().net.wire_bytes)
-        << "loss " << loss;
-    faults_fired += res.net.dropped + res.net.corrupted + res.net.duplicated +
-                    res.net.reordered;
-    retransmitted += res.net.retransmissions;
+    // Lossy sweep up to 10%: the application-visible numbers must not move.
+    std::uint64_t faults_fired = 0, retransmitted = 0;
+    for (double loss : {0.02, 0.05, 0.10}) {
+      auto cfg = net_cfg(8, 2, threads);
+      cfg.net.fault.seed = 555;
+      cfg.net.fault.drop_prob = loss;
+      cfg.net.fault.dup_prob = loss / 2;
+      cfg.net.fault.corrupt_prob = loss / 2;
+      cfg.net.fault.reorder_prob = loss;
+      cfg.net.retry.max_attempts = 16;
+      em::EmEngine e(cfg);
+      EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))))
+          << "loss " << loss << " threads " << threads;
+      const auto& res = e.last_result();
+      // Delivered payload accounting is transport-independent...
+      EXPECT_EQ(res.comm.total_bytes(), direct_bytes) << "loss " << loss;
+      // ...and a faulty wire only ever does more work, never less.
+      EXPECT_GE(res.net.wire_bytes, stats[0].wire_bytes) << "loss " << loss;
+      faults_fired += res.net.dropped + res.net.corrupted +
+                      res.net.duplicated + res.net.reordered;
+      retransmitted += res.net.retransmissions;
+      stats.push_back(res.net);
+    }
+    // Individual loss rates may get lucky on a short run; the sweep as a
+    // whole must have exercised both the faults and the recovery.
+    EXPECT_GT(faults_fired, 0u);
+    EXPECT_GT(retransmitted, 0u);
+
+    if (!threads) {
+      serial_stats = std::move(stats);
+    } else {
+      ASSERT_EQ(stats.size(), serial_stats.size());
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        EXPECT_EQ(stats[i], serial_stats[i]) << "config " << i;
+      }
+    }
   }
-  // Individual loss rates may get lucky on a short run; the sweep as a whole
-  // must have exercised both the faults and the recovery.
-  EXPECT_GT(faults_fired, 0u);
-  EXPECT_GT(retransmitted, 0u);
 }
 
 TEST(NetEngine, PerStepWireAccountingSumsToNetStats) {
-  auto cfg = net_cfg(8, 2);
-  cfg.net.fault.seed = 11;
-  cfg.net.fault.drop_prob = 0.05;
-  cfg.net.fault.reorder_prob = 0.05;
-  em::EmEngine e(cfg);
-  algo::SampleSortProgram<std::uint64_t> prog;
-  e.run(prog, sort_inputs(8, random_keys(77, 2000)));
-  const auto& res = e.last_result();
-  std::uint64_t wire = 0, rtx = 0;
-  for (const auto& s : res.comm.steps) {
-    wire += s.wire_bytes;
-    rtx += s.retransmissions;
+  net::NetStats serial_net;
+  for (bool threads : {false, true}) {
+    auto cfg = net_cfg(8, 2, threads);
+    cfg.net.fault.seed = 11;
+    cfg.net.fault.drop_prob = 0.05;
+    cfg.net.fault.reorder_prob = 0.05;
+    em::EmEngine e(cfg);
+    algo::SampleSortProgram<std::uint64_t> prog;
+    e.run(prog, sort_inputs(8, random_keys(77, 2000)));
+    const auto& res = e.last_result();
+    std::uint64_t wire = 0, rtx = 0;
+    for (const auto& s : res.comm.steps) {
+      wire += s.wire_bytes;
+      rtx += s.retransmissions;
+    }
+    EXPECT_EQ(wire, res.net.wire_bytes);
+    EXPECT_EQ(rtx, res.net.retransmissions);
+    EXPECT_GT(res.net.wire_bytes, res.net.delivered_payload_bytes);
+    if (!threads) {
+      serial_net = res.net;
+    } else {
+      // Per-step attribution survives concurrent delivery unchanged.
+      EXPECT_EQ(res.net, serial_net);
+    }
   }
-  EXPECT_EQ(wire, res.net.wire_bytes);
-  EXPECT_EQ(rtx, res.net.retransmissions);
-  EXPECT_GT(res.net.wire_bytes, res.net.delivered_payload_bytes);
 }
 
 // ------------------------------------------------------------- fail-over --
@@ -375,8 +403,9 @@ struct KillRun {
 
 KillRun run_with_kill(std::uint32_t v, std::uint32_t p,
                       const std::vector<std::uint64_t>& keys,
-                      std::uint32_t victim, std::uint64_t step) {
-  auto cfg = net_cfg(v, p);
+                      std::uint32_t victim, std::uint64_t step,
+                      bool threads = false) {
+  auto cfg = net_cfg(v, p, threads);
   cfg.net.failover = true;
   cfg.net.fault.fail_stop_proc = victim;
   cfg.net.fault.fail_stop_at_step = step;
@@ -402,9 +431,11 @@ TEST(NetFailover, SmokeKillOneProcessor) {
   em::EmEngine ref(net_cfg(8, 2));
   const auto expected = ref.run(prog, sort_inputs(8, keys));
 
-  const auto got = run_with_kill(8, 2, keys, 1, 2);
-  EXPECT_GE(got.failovers, 1u);
-  EXPECT_TRUE(same_outputs(expected, got.out));
+  for (bool threads : {false, true}) {
+    const auto got = run_with_kill(8, 2, keys, 1, 2, threads);
+    EXPECT_GE(got.failovers, 1u);
+    EXPECT_TRUE(same_outputs(expected, got.out)) << "threads " << threads;
+  }
 }
 
 TEST(NetFailover, KillSweepEveryProcEveryStep) {
@@ -430,6 +461,14 @@ TEST(NetFailover, KillSweepEveryProcEveryStep) {
         EXPECT_TRUE(same_outputs(expected, got.out))
             << "p=" << p << " victim=" << victim << " step=" << step;
         fired += got.failovers;
+        // Threaded replay of the same kill: identical outputs AND the
+        // fail-over fires at exactly the same point (same count) — the
+        // death/retry/replay schedule is execution-order independent.
+        const auto thr = run_with_kill(8, p, keys, victim, step, true);
+        EXPECT_TRUE(same_outputs(expected, thr.out))
+            << "threaded p=" << p << " victim=" << victim << " step=" << step;
+        EXPECT_EQ(thr.failovers, got.failovers)
+            << "p=" << p << " victim=" << victim << " step=" << step;
       }
     }
     // A fail-stop materializes when the victim is next *needed*: its link
@@ -452,25 +491,28 @@ TEST(NetFailover, DiskCrashBetweenBoundariesIsAdopted) {
   const auto expected = ref.run(prog, sort_inputs(8, keys));
 
   std::uint64_t fired = 0;
-  for (std::uint64_t K : {9ull, 33ull, 101ull, 257ull, 601ull}) {
-    auto cfg = net_cfg(8, 2);
-    cfg.net.failover = true;
-    cfg.fault_per_proc.assign(2, pdm::FaultPlan{});
-    cfg.fault_per_proc[1].crash_after_ops = K;
-    em::EmEngine e(cfg);
-    try {
-      const auto got = e.run(prog, sort_inputs(8, keys));
-      EXPECT_TRUE(same_outputs(expected, got)) << "K=" << K;
-      fired += e.last_result().failovers;
-      if (e.last_result().failovers > 0) EXPECT_FALSE(e.alive(1));
-    } catch (const IoError& err) {
-      // Only a death before the first commit may escape: no consistent
-      // state exists yet, so fail-over has nothing to restart from.
-      ASSERT_EQ(err.kind(), IoErrorKind::kCrash) << "K=" << K;
-      EXPECT_FALSE(e.has_checkpoint()) << "K=" << K;
+  for (bool threads : {false, true}) {
+    for (std::uint64_t K : {9ull, 33ull, 101ull, 257ull, 601ull}) {
+      auto cfg = net_cfg(8, 2, threads);
+      cfg.net.failover = true;
+      cfg.fault_per_proc.assign(2, pdm::FaultPlan{});
+      cfg.fault_per_proc[1].crash_after_ops = K;
+      em::EmEngine e(cfg);
+      try {
+        const auto got = e.run(prog, sort_inputs(8, keys));
+        EXPECT_TRUE(same_outputs(expected, got))
+            << "K=" << K << " threads=" << threads;
+        fired += e.last_result().failovers;
+        if (e.last_result().failovers > 0) EXPECT_FALSE(e.alive(1));
+      } catch (const IoError& err) {
+        // Only a death before the first commit may escape: no consistent
+        // state exists yet, so fail-over has nothing to restart from.
+        ASSERT_EQ(err.kind(), IoErrorKind::kCrash) << "K=" << K;
+        EXPECT_FALSE(e.has_checkpoint()) << "K=" << K;
+      }
     }
   }
-  EXPECT_GE(fired, 3u);
+  EXPECT_GE(fired, 6u);
 }
 
 TEST(NetFailover, WithoutFailoverDeathIsFatal) {

@@ -1,0 +1,340 @@
+// Threaded-determinism sweeps. Two layers:
+//
+//  * Mailbox: SimNetwork's concurrent round (begin_round/post/finish_sender/
+//    collect) must be bit-identical to the serial send/run_to_quiescence
+//    path, invariant to which thread posts when, and invariant to the
+//    background pump being on or off — the pair-decomposition argument of
+//    sim_network.h, tested directly.
+//
+//  * ThreadedStress: seeded schedule perturbation at the engine level. Real
+//    random sleeps are injected through the disk retry backoff hook (fired
+//    by per-host transient disk faults), so the host threads interleave
+//    differently on every seed — and the run must still converge to the
+//    clean serial reference, under lossy links and under node kills.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/sort.h"
+#include "emcgm/em_engine.h"
+#include "net/net_fault.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+using namespace emcgm;
+
+namespace {
+
+std::vector<std::byte> payload_for(std::uint32_t src, std::uint32_t dst,
+                                   std::uint32_t chunk, std::size_t len) {
+  std::vector<std::byte> v(len);
+  Rng rng((static_cast<std::uint64_t>(src) << 40) ^
+          (static_cast<std::uint64_t>(dst) << 20) ^ chunk);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return v;
+}
+
+bool same_inboxes(const std::vector<std::vector<net::Delivery>>& a,
+                  const std::vector<std::vector<net::Delivery>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    if (a[d].size() != b[d].size()) return false;
+    for (std::size_t i = 0; i < a[d].size(); ++i) {
+      if (a[d][i].src != b[d][i].src) return false;
+      if (a[d][i].payload != b[d][i].payload) return false;
+    }
+  }
+  return true;
+}
+
+net::NetConfig faulty_net(std::uint64_t seed, bool pump) {
+  net::NetConfig cfg;
+  cfg.enabled = true;
+  cfg.mailbox_pump = pump;
+  cfg.fault.seed = seed;
+  cfg.fault.drop_prob = 0.1;
+  cfg.fault.dup_prob = 0.05;
+  cfg.fault.corrupt_prob = 0.05;
+  cfg.fault.reorder_prob = 0.15;
+  cfg.fault.delay_prob = 0.1;
+  cfg.retry.max_attempts = 16;
+  return cfg;
+}
+
+std::vector<cgm::PartitionSet> sort_inputs(
+    std::uint32_t v, const std::vector<std::uint64_t>& keys) {
+  cgm::PartitionSet input;
+  input.parts.resize(v);
+  const std::size_t n = keys.size();
+  for (std::uint32_t j = 0; j < v; ++j) {
+    const std::size_t b = n * j / v, e = n * (j + 1) / v;
+    input.parts[j] = vec_to_bytes(
+        std::vector<std::uint64_t>(keys.begin() + b, keys.begin() + e));
+  }
+  std::vector<cgm::PartitionSet> inputs;
+  inputs.push_back(std::move(input));
+  return inputs;
+}
+
+bool same_outputs(const std::vector<cgm::PartitionSet>& a,
+                  const std::vector<cgm::PartitionSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].parts != b[i].parts) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- mailbox vs. send ----
+
+TEST(Mailbox, RoundMatchesSendPath) {
+  // One payload per ordered link, below the MTU, so the send path (one
+  // packet per send) and the mailbox path (stream fragmented at collect)
+  // produce identical frames — then everything downstream (fault coins,
+  // retransmissions, deliveries, statistics) must be identical too.
+  const std::uint32_t p = 4;
+  for (bool pump : {false, true}) {
+    net::SimNetwork via_send(p, faulty_net(77, pump));
+    net::SimNetwork via_mail(p, faulty_net(77, pump));
+
+    via_mail.begin_round();
+    for (std::uint32_t s = 0; s < p; ++s) {
+      for (std::uint32_t d = 0; d < p; ++d) {
+        if (s == d) continue;
+        const std::size_t len = 50 + 13 * s + 7 * d;
+        via_send.send(s, d, payload_for(s, d, 0, len));
+        // Two chunks that concatenate to the same stream: post() appends.
+        auto bytes = payload_for(s, d, 0, len);
+        std::vector<std::byte> head(bytes.begin(), bytes.begin() + len / 2);
+        std::vector<std::byte> tail(bytes.begin() + len / 2, bytes.end());
+        via_mail.post(s, d, std::move(head));
+        via_mail.post(s, d, std::move(tail));
+      }
+    }
+    for (std::uint32_t s = 0; s < p; ++s) via_mail.finish_sender(s);
+
+    const auto want = via_send.run_to_quiescence();
+    const auto got = via_mail.collect();
+    EXPECT_TRUE(same_inboxes(want, got)) << "pump=" << pump;
+    EXPECT_EQ(via_send.stats(), via_mail.stats()) << "pump=" << pump;
+  }
+}
+
+TEST(Mailbox, ConcurrentPostsAreDeterministic) {
+  // p poster threads, each interleaving real random sleeps between its
+  // post() calls and visiting destinations in a thread-specific order. Only
+  // the per-link chunk order is fixed — and that is all the mailbox
+  // contract requires: every trial must match the inline reference exactly.
+  const std::uint32_t p = 4;
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    net::SimNetwork ref(p, faulty_net(900 + trial, false));
+    ref.begin_round();
+    for (std::uint32_t s = 0; s < p; ++s) {
+      for (std::uint32_t d = 0; d < p; ++d) {
+        if (s == d) continue;
+        for (std::uint32_t c = 0; c < 3; ++c) {
+          ref.post(s, d, payload_for(s, d, c, 30 + 11 * c));
+        }
+      }
+      ref.finish_sender(s);
+    }
+    const auto want = ref.collect();
+
+    net::SimNetwork nw(p, faulty_net(900 + trial, true));
+    nw.begin_round();
+    std::vector<std::thread> posters;
+    for (std::uint32_t s = 0; s < p; ++s) {
+      posters.emplace_back([&nw, s, trial, p] {
+        Rng jitter(trial * 131 + s);
+        const std::uint32_t rot =
+            static_cast<std::uint32_t>((s + trial) % (p - 1));
+        for (std::uint32_t k = 0; k < p - 1; ++k) {
+          // Thread-specific destination order; per-link chunk order fixed.
+          const std::uint32_t d = (s + 1 + (k + rot) % (p - 1)) % p;
+          for (std::uint32_t c = 0; c < 3; ++c) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(jitter.next_below(80)));
+            nw.post(s, d, payload_for(s, d, c, 30 + 11 * c));
+          }
+        }
+        nw.finish_sender(s);
+      });
+    }
+    for (auto& t : posters) t.join();
+    const auto got = nw.collect();
+    EXPECT_TRUE(same_inboxes(want, got)) << "trial " << trial;
+    EXPECT_EQ(ref.stats(), nw.stats()) << "trial " << trial;
+  }
+}
+
+TEST(Mailbox, PumpOnOffBitIdenticalAtEngineLevel) {
+  const auto keys = random_keys(606, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  std::vector<cgm::PartitionSet> want;
+  cgm::RunResult base;
+  for (bool pump : {false, true}) {
+    cgm::MachineConfig cfg;
+    cfg.v = 8;
+    cfg.p = 4;
+    cfg.disk.num_disks = 2;
+    cfg.disk.block_bytes = 512;
+    cfg.checkpointing = true;
+    cfg.use_threads = true;
+    cfg.net = faulty_net(4040, pump);
+    em::EmEngine e(cfg);
+    const auto out = e.run(prog, sort_inputs(8, keys));
+    const auto& res = e.last_result();
+    if (!pump) {
+      want = out;
+      base = res;
+    } else {
+      EXPECT_TRUE(same_outputs(want, out));
+      EXPECT_EQ(res.io, base.io);
+      EXPECT_EQ(res.net, base.net);
+      ASSERT_EQ(res.comm.steps.size(), base.comm.steps.size());
+      for (std::size_t i = 0; i < res.comm.steps.size(); ++i) {
+        EXPECT_EQ(res.comm.steps[i], base.comm.steps[i]) << "step " << i;
+      }
+    }
+  }
+}
+
+// ----------------------------------------- schedule-perturbation stress ----
+
+namespace {
+
+/// Real random sleep on every disk retry backoff: transient disk faults turn
+/// into schedule perturbation for the host threads. Thread-local state — the
+/// hook is shared by all hosts and must not serialize them.
+std::atomic<std::uint64_t> g_jitter_fired{0};
+
+void jitter_sleep(std::uint64_t) {
+  thread_local Rng rng(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  g_jitter_fired.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(rng.next_below(60)));
+}
+
+cgm::MachineConfig stress_cfg(std::uint64_t seed, bool threads) {
+  cgm::MachineConfig cfg;
+  cfg.v = 8;
+  cfg.p = 4;
+  cfg.disk.num_disks = 2;
+  cfg.disk.block_bytes = 512;
+  cfg.checkpointing = true;
+  cfg.use_threads = threads;
+  cfg.net.enabled = true;
+  // Per-host transient disk faults make the retry path (and with it the
+  // jitter hook) actually fire; the retry budget absorbs them all.
+  cfg.retry.max_attempts = 8;
+  cfg.fault_per_proc.assign(4, pdm::FaultPlan{});
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    cfg.fault_per_proc[h].seed = seed * 16 + h;
+    cfg.fault_per_proc[h].transient_read_prob = 0.02;
+    cfg.fault_per_proc[h].transient_write_prob = 0.02;
+  }
+  if (threads) cfg.retry.sleep = jitter_sleep;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ThreadedStress, LossySweepConvergesAcrossSeeds) {
+  const auto keys = random_keys(2026, 2500);
+  algo::SampleSortProgram<std::uint64_t> prog;
+
+  // Clean serial reference: no disk faults, no network faults.
+  cgm::MachineConfig ref_cfg;
+  ref_cfg.v = 8;
+  ref_cfg.p = 4;
+  ref_cfg.disk.num_disks = 2;
+  ref_cfg.disk.block_bytes = 512;
+  ref_cfg.checkpointing = true;
+  ref_cfg.net.enabled = true;
+  em::EmEngine ref(ref_cfg);
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+  const auto ref_bytes = ref.last_result().comm.total_bytes();
+  ASSERT_GT(ref_bytes, 0u);
+
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    // Same faulty config run serial then threaded-with-jitter: outputs and
+    // every wire statistic must be bit-identical, and both must converge to
+    // the clean reference's payload bytes.
+    cgm::RunResult serial;
+    for (bool threads : {false, true}) {
+      auto cfg = stress_cfg(seed, threads);
+      cfg.net.fault.seed = 1000 + seed;
+      cfg.net.fault.drop_prob = 0.08;
+      cfg.net.fault.dup_prob = 0.04;
+      cfg.net.fault.corrupt_prob = 0.04;
+      cfg.net.fault.reorder_prob = 0.08;
+      cfg.net.retry.max_attempts = 16;
+      em::EmEngine e(cfg);
+      EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(e.last_result().comm.total_bytes(), ref_bytes)
+          << "seed " << seed << " threads " << threads;
+      if (!threads) {
+        serial = e.last_result();
+      } else {
+        EXPECT_EQ(e.last_result().net, serial.net) << "seed " << seed;
+        EXPECT_EQ(e.last_result().io, serial.io) << "seed " << seed;
+      }
+    }
+  }
+  EXPECT_GT(g_jitter_fired.load(), 0u)
+      << "transient disk faults never fired the jitter hook: the sweep "
+         "perturbed nothing";
+}
+
+TEST(ThreadedStress, KillSweepConvergesAcrossSeeds) {
+  const auto keys = random_keys(2027, 2500);
+  algo::SampleSortProgram<std::uint64_t> prog;
+
+  cgm::MachineConfig ref_cfg;
+  ref_cfg.v = 8;
+  ref_cfg.p = 4;
+  ref_cfg.disk.num_disks = 2;
+  ref_cfg.disk.block_bytes = 512;
+  ref_cfg.checkpointing = true;
+  ref_cfg.net.enabled = true;
+  em::EmEngine ref(ref_cfg);
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+  const auto steps = ref.last_result().io_per_step.size();
+  ASSERT_GE(steps, 3u);
+
+  std::uint64_t fired = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    cgm::RunResult serial;
+    for (bool threads : {false, true}) {
+      auto cfg = stress_cfg(seed, threads);
+      cfg.net.failover = true;
+      cfg.net.fault.fail_stop_proc = static_cast<std::uint32_t>(seed % 4);
+      cfg.net.fault.fail_stop_at_step = 1 + seed % steps;
+      cfg.net.retry.max_attempts = 4;  // give up on the corpse quickly
+      em::EmEngine e(cfg);
+      EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))))
+          << "seed " << seed << " threads " << threads;
+      if (!threads) {
+        serial = e.last_result();
+      } else {
+        // The fail-over fires at the same point and the wire does the same
+        // work, jitter or not.
+        EXPECT_EQ(e.last_result().failovers, serial.failovers)
+            << "seed " << seed;
+        EXPECT_EQ(e.last_result().net, serial.net) << "seed " << seed;
+        fired += e.last_result().failovers;
+      }
+    }
+  }
+  EXPECT_GE(fired, 2u) << "the kill sweep barely killed anyone";
+}
