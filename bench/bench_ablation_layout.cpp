@@ -20,14 +20,14 @@ struct Probe {
   std::uint64_t tracks;
 };
 
-Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n) {
+Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n,
+          const TraceOption* trace = nullptr) {
   cgm::MachineConfig cfg = standard_config(8, 1, 4, 2048);
   cfg.layout = layout;
   cfg.single_copy_matrix = single_copy;
   cfg.balanced_routing = true;  // gives the staggered matrix its size bound
+  if (trace) trace->arm(cfg);
   em::EmEngine engine(cfg);
-  cgm::Machine* dummy = nullptr;
-  (void)dummy;
 
   algo::SampleSortProgram<std::uint64_t> prog;
   auto keys = random_keys(9, n);
@@ -41,6 +41,7 @@ Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n) {
   std::vector<cgm::PartitionSet> inputs;
   inputs.push_back(std::move(input));
   engine.run(prog, std::move(inputs));
+  if (trace) trace->write(engine);
 
   Probe p{};
   p.ops = engine.last_result().io.total_ops();
@@ -51,7 +52,8 @@ Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::size_t n = 1u << 17;
   std::printf(
       "Ablation: message store layouts under balanced sort traffic\n"
@@ -60,7 +62,8 @@ int main() {
   Table t({"layout", "parallel I/Os", "parallel efficiency",
            "disk tracks used"});
   {
-    auto p = run(cgm::MsgLayout::kChained, false, n);
+    // The chained-extent run is the traced one under --trace.
+    auto p = run(cgm::MsgLayout::kChained, false, n, &trace);
     t.row({"chained extents", fmt_u(p.ops), fmt(p.efficiency, 3),
            fmt_u(p.tracks)});
   }

@@ -23,11 +23,13 @@ struct Probe {
 };
 
 Probe run(bool balanced, cgm::MsgLayout layout, std::size_t slot_bytes,
-          std::size_t n, std::uint32_t v) {
+          std::size_t n, std::uint32_t v,
+          const TraceOption* trace = nullptr) {
   cgm::MachineConfig cfg = standard_config(v, 1, 4, 2048);
   cfg.balanced_routing = balanced;
   cfg.layout = layout;
   cfg.staggered_slot_bytes = slot_bytes;
+  if (trace) trace->arm(cfg);
   em::EmEngine engine(cfg);
 
   auto values = random_keys(1, n);
@@ -49,6 +51,7 @@ Probe run(bool balanced, cgm::MsgLayout layout, std::size_t slot_bytes,
   inputs.push_back(std::move(pv));
   inputs.push_back(std::move(pt));
   engine.run(prog, std::move(inputs));
+  if (trace) trace->write(engine);
 
   // Message-size extremes come from the native engine's view of the same
   // physical traffic; rerun there for the statistics.
@@ -87,7 +90,8 @@ Probe run(bool balanced, cgm::MsgLayout layout, std::size_t slot_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::uint32_t v = 16;
   const std::size_t n = 1u << 16;
   std::printf(
@@ -121,7 +125,8 @@ int main() {
            fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});
   }
   {
-    auto p = run(true, cgm::MsgLayout::kChained, 0, n, v);
+    // The balanced + chained run is the traced one under --trace.
+    auto p = run(true, cgm::MsgLayout::kChained, 0, n, v, &trace);
     t.row({"balanced + chained",
            "[" + fmt_u(p.min_msg) + ", " + fmt_u(p.max_msg) + "]",
            fmt_u(p.comm_steps), fmt_u(p.ops), fmt_u(p.tracks)});

@@ -14,7 +14,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::uint32_t v = 16;
   const std::size_t n = 1u << 16;
   auto keys = random_keys(8, n);
@@ -38,8 +39,12 @@ int main() {
     cgm::MachineConfig cfg;
     cfg.v = v;
     cfg.balanced_routing = balanced;
+    // The balanced native run is the traced one under --trace (the native
+    // engine emits superstep/compute/deliver spans).
+    if (balanced) trace.arm(cfg);
     cgm::Machine m(cgm::EngineKind::kNative, cfg);
     algo::sort_keys(m, keys);
+    if (balanced) trace.write(m.engine());
     const auto& res = m.total();
     std::uint64_t min_msg = ~0ull;
     for (const auto& s : res.comm.steps) {

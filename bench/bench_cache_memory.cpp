@@ -18,7 +18,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   std::printf(
       "Paper §5 (cache memories): the coarse-grained condition at the"
       " cache/main-memory interface\n\n");
@@ -58,9 +59,12 @@ int main() {
         std::max<std::uint32_t>(2, static_cast<std::uint32_t>(
                                        n * 8 / (16 * 1024)));
     cgm::MachineConfig cfg = standard_config(v, 1, 1, 64);
+    const bool traced = n == (1u << 16);  // largest sweep point
+    if (traced) trace.arm(cfg);
     cgm::Machine m(cgm::EngineKind::kEm, cfg);
     auto keys = random_keys(n, n);
     algo::sort_keys(m, keys);
+    if (traced) trace.write(m.engine());
     const double lines = static_cast<double>(n) * 8 / 64;
     const double ratio = m.total().io.total_blocks() / lines;
     mt.row({fmt_u(n), fmt_u(v), fmt_u(m.total().io.total_blocks()),

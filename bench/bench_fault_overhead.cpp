@@ -23,6 +23,7 @@ struct Probe {
   std::uint64_t tracks;
   std::uint64_t retries;
   std::uint64_t rtx;
+  std::uint64_t wire;
   std::uint64_t app_rounds;
 };
 
@@ -42,7 +43,8 @@ std::vector<cgm::PartitionSet> sort_inputs(std::uint32_t v, std::size_t n) {
 
 Probe run(bool checksums, bool checkpointing, double fault_prob,
           std::size_t n, std::uint32_t p_real = 1, double loss_prob = 0.0,
-          bool net = false, bool threads = false) {
+          bool net = false, bool threads = false,
+          const TraceOption* trace = nullptr) {
   cgm::MachineConfig cfg = standard_config(8, p_real, 4, 2048);
   cfg.checksums = checksums;
   cfg.checkpointing = checkpointing;
@@ -61,9 +63,11 @@ Probe run(bool checksums, bool checkpointing, double fault_prob,
     cfg.net.fault.corrupt_prob = loss_prob / 2;
     cfg.net.fault.reorder_prob = loss_prob;
   }
+  if (trace) trace->arm(cfg);
   em::EmEngine engine(cfg);
   algo::SampleSortProgram<std::uint64_t> prog;
   engine.run(prog, sort_inputs(8, n));
+  if (trace) trace->write(engine);
 
   Probe p{};
   p.ops = engine.last_result().io.total_ops();
@@ -71,6 +75,7 @@ Probe run(bool checksums, bool checkpointing, double fault_prob,
   p.tracks = engine.tracks_used(0);
   p.retries = engine.io_stats(0).retries;
   p.rtx = engine.last_result().net.retransmissions;
+  p.wire = engine.last_result().net.wire_bytes;
   p.app_rounds = engine.last_result().app_rounds;
   return p;
 }
@@ -79,6 +84,7 @@ Probe run(bool checksums, bool checkpointing, double fault_prob,
 
 int main(int argc, char** argv) {
   const std::string json_path = json_arg(argc, argv);
+  const TraceOption trace = trace_arg(argc, argv);
   const std::size_t n = 1u << 17;
   std::printf(
       "Robustness overhead on sample sort\n"
@@ -89,34 +95,35 @@ int main(int argc, char** argv) {
       100.0 * pdm::kEnvelopeBytes / 2048.0);
 
   Table t({"machine", "parallel I/Os", "wall s", "disk tracks", "retries",
-           "net rtx", "speedup"});
+           "net rtx", "wire (bytes)", "speedup"});
   const Probe base = run(false, false, 0.0, n);
   t.row({"baseline", fmt_u(base.ops), fmt(base.wall_s, 3), fmt_u(base.tracks),
-         "0", "0", "-"});
+         "0", "0", "0", "-"});
   {
     const auto p = run(true, false, 0.0, n);
     t.row({"+ CRC32C envelopes", fmt_u(p.ops), fmt(p.wall_s, 3),
-           fmt_u(p.tracks), "0", "0", "-"});
+           fmt_u(p.tracks), "0", "0", "0", "-"});
   }
   {
     const auto p = run(true, true, 0.0, n);
     t.row({"+ superstep checkpoints", fmt_u(p.ops), fmt(p.wall_s, 3),
-           fmt_u(p.tracks), "0", "0", "-"});
+           fmt_u(p.tracks), "0", "0", "0", "-"});
   }
   {
     const auto p = run(true, false, 0.01, n);
     t.row({"+ 1% transient faults, retried", fmt_u(p.ops), fmt(p.wall_s, 3),
-           fmt_u(p.tracks), fmt_u(p.retries), "0", "-"});
+           fmt_u(p.tracks), fmt_u(p.retries), "0", "0", "-"});
   }
   {
-    const auto p = run(false, false, 0.0, n, 2, 0.0, true);
+    // The clean p=2 network run is the traced one under --trace.
+    const auto p = run(false, false, 0.0, n, 2, 0.0, true, false, &trace);
     t.row({"+ simulated network (p=2)", fmt_u(p.ops), fmt(p.wall_s, 3),
-           fmt_u(p.tracks), "0", fmt_u(p.rtx), "-"});
+           fmt_u(p.tracks), "0", fmt_u(p.rtx), fmt_u(p.wire), "-"});
   }
   {
     const auto p = run(false, false, 0.0, n, 2, 0.10, true);
     t.row({"+ 10% lossy links, retransmitted", fmt_u(p.ops), fmt(p.wall_s, 3),
-           fmt_u(p.tracks), "0", fmt_u(p.rtx), "-"});
+           fmt_u(p.tracks), "0", fmt_u(p.rtx), fmt_u(p.wire), "-"});
   }
   // Thread-parallel host execution: serial vs threaded pairs at p=2 and
   // p=4 over the clean simulated network. The parallel I/O count must not
@@ -134,7 +141,8 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "+ threaded hosts (p=%u)", p_real);
     t.row({label, fmt_u(thr.ops), fmt(thr.wall_s, 3), fmt_u(thr.tracks), "0",
-           fmt_u(thr.rtx), fmt(serial.wall_s / thr.wall_s, 2) + "x"});
+           fmt_u(thr.rtx), fmt_u(thr.wire),
+           fmt(serial.wall_s / thr.wall_s, 2) + "x"});
   }
   t.print();
   std::printf(

@@ -15,6 +15,7 @@ using namespace emcgm::bench;
 
 int main(int argc, char** argv) {
   const std::string json_path = json_arg(argc, argv);
+  const TraceOption trace = trace_arg(argc, argv);
   std::printf(
       "Fig. 3 reproduction: CGM sample sort, native CGM machine vs EM-CGM"
       " simulation\n"
@@ -58,40 +59,56 @@ int main(int argc, char** argv) {
       " (flat s/item), and ops/(N/DB) stays constant — no log factor.\n");
 
   // Thread-parallel host execution at fixed N: the same EM simulation run
-  // with p real hosts, serial vs one thread per host. The counted parallel
-  // I/Os are per-host maxima of the same deterministic schedule, so the ops
-  // column must not move; the speedup column is wall(serial)/wall(threads)
-  // and exceeds 1 only with >= p cores to run the hosts on.
-  std::printf("\nThread-parallel hosts, N=2^17:\n\n");
-  Table tt({"p (hosts)", "threads", "wall (s)", "parallel I/Os", "speedup"});
+  // with p real hosts over the simulated network with superstep
+  // checkpointing, serial vs one thread per host. The counted parallel I/Os
+  // are per-host maxima of the same deterministic schedule, so the ops and
+  // wire columns must not move; the speedup column is
+  // wall(serial)/wall(threads) and exceeds 1 only with >= p cores to run
+  // the hosts on. With --trace, the p=2 threaded run is traced (spans for
+  // context/inbox/outbox I/O, compute, net rounds, commits — plus the
+  // per-superstep predicted-vs-measured PDM cost in the metrics sibling).
+  std::printf("\nThread-parallel hosts over the simulated network, N=2^17:\n\n");
+  Table tt({"p (hosts)", "threads", "wall (s)", "parallel I/Os",
+            "wire (bytes)", "rtx", "speedup"});
   {
     const std::size_t n = 1u << 17;
     auto keys = random_keys(42 + n, n);
     for (std::uint32_t p : {2u, 4u}) {
       double wall_serial = 0.0;
       std::uint64_t ops_serial = 0;
+      std::uint64_t wire_serial = 0;
       std::vector<std::uint64_t> sorted_serial;
       for (bool threads : {false, true}) {
         auto cfg = standard_config(v, p, D, B);
         cfg.use_threads = threads;
+        cfg.net.enabled = true;
+        cfg.checkpointing = true;
+        const bool traced = threads && p == 2;
+        if (traced) trace.arm(cfg);
         cgm::Machine em(cgm::EngineKind::kEm, cfg);
         Timer tm;
         auto sorted = algo::sort_keys(em, keys);
         const double wall = tm.elapsed_s();
         const auto ops = em.total().io.total_ops();
+        const auto wire = em.total().net.wire_bytes;
+        const auto rtx = em.total().net.retransmissions;
         if (!threads) {
           wall_serial = wall;
           ops_serial = ops;
+          wire_serial = wire;
           sorted_serial = std::move(sorted);
-          tt.row({fmt_u(p), "off", fmt(wall, 4), fmt_u(ops), "-"});
+          tt.row({fmt_u(p), "off", fmt(wall, 4), fmt_u(ops), fmt_u(wire),
+                  fmt_u(rtx), "-"});
         } else {
-          if (sorted != sorted_serial || ops != ops_serial) {
+          if (sorted != sorted_serial || ops != ops_serial ||
+              wire != wire_serial) {
             std::fprintf(stderr, "threaded run diverged at p=%u\n", p);
             return 1;
           }
-          tt.row({fmt_u(p), "on", fmt(wall, 4), fmt_u(ops),
-                  fmt(wall_serial / wall, 2) + "x"});
+          tt.row({fmt_u(p), "on", fmt(wall, 4), fmt_u(ops), fmt_u(wire),
+                  fmt_u(rtx), fmt(wall_serial / wall, 2) + "x"});
         }
+        if (traced) trace.write(em.engine());
       }
     }
   }

@@ -11,7 +11,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   std::printf(
       "Fig. 4 reproduction: EM-CGM sort, disk-count sweep\n"
       "v=16, p=1, B=8 KiB, N=2^17 items; modeled time = ops x per-op disk"
@@ -27,8 +28,12 @@ int main() {
            "modeled I/O time (s)", "speedup vs D=1"});
   double base_time = 0;
   for (std::uint32_t D : {1u, 2u, 4u, 8u}) {
-    cgm::Machine em(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+    auto cfg = standard_config(v, 1, D, B);
+    const bool traced = D == 4;  // representative multi-disk point
+    if (traced) trace.arm(cfg);
+    cgm::Machine em(cgm::EngineKind::kEm, cfg);
     algo::sort_keys(em, keys);
+    if (traced) trace.write(em.engine());
     const auto& io = em.total().io;
     const double io_s = cost.io_seconds(io, B);
     if (D == 1) base_time = io_s;

@@ -25,7 +25,8 @@ pdm::DiskArray make_disks(std::uint32_t D, std::size_t B) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::uint32_t v = 16, D = 4;
   const std::size_t B = 4096;
   const std::size_t per_block = B / sizeof(std::uint64_t);
@@ -45,8 +46,12 @@ int main() {
              "mergesort ops", "mergesort ratio", "merge passes"});
     for (std::size_t n : {1u << 16, 1u << 18, 1u << 20, 1u << 21}) {
       auto keys = random_keys(n, n);
-      cgm::Machine em(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+      auto cfg = standard_config(v, 1, D, B);
+      const bool traced = n == (1u << 18);  // representative sort run
+      if (traced) trace.arm(cfg);
+      cgm::Machine em(cgm::EngineKind::kEm, cfg);
       algo::sort_keys(em, keys);
+      if (traced) trace.write(em.engine());
       const auto cgm_ops = em.total().io.total_ops();
 
       auto disks = make_disks(D, B);

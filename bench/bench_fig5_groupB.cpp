@@ -26,15 +26,20 @@ struct Probe {
 };
 
 template <typename Fn>
-Probe run(std::uint32_t v, std::uint32_t D, std::size_t B, Fn&& fn) {
-  cgm::Machine m(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+Probe run(std::uint32_t v, std::uint32_t D, std::size_t B, Fn&& fn,
+          const TraceOption* trace = nullptr) {
+  auto cfg = standard_config(v, 1, D, B);
+  if (trace) trace->arm(cfg);
+  cgm::Machine m(cgm::EngineKind::kEm, cfg);
   fn(m);
+  if (trace) trace->write(m.engine());
   return Probe{m.total().io.total_ops(), m.total().app_rounds};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::uint32_t v = 8, D = 4;
   const std::size_t B = 4096;
   std::printf(
@@ -45,10 +50,13 @@ int main() {
   Table t({"problem", "N", "app rounds", "parallel I/Os", "ratio",
            "ratio growth"});
   auto sweep = [&](const std::string& name, auto&& runner,
-                   std::size_t rec_bytes) {
+                   std::size_t rec_bytes, bool traced_sweep = false) {
     double prev = 0;
     for (std::size_t n : {20000u, 40000u, 80000u}) {
-      auto p = run(v, D, B, [&](cgm::Machine& m) { runner(m, n); });
+      // Under --trace, the traced sweep's largest point is the traced run.
+      const TraceOption* tropt =
+          traced_sweep && n == 80000u ? &trace : nullptr;
+      auto p = run(v, D, B, [&](cgm::Machine& m) { runner(m, n); }, tropt);
       const double stream =
           static_cast<double>(n) * rec_bytes / (D * B);
       const double ratio = p.ops / stream;
@@ -60,7 +68,7 @@ int main() {
 
   sweep("3D maxima", [](cgm::Machine& m, std::size_t n) {
     geom::maxima3d(m, geom::random_points3(n, n));
-  }, sizeof(geom::Point3));
+  }, sizeof(geom::Point3), /*traced_sweep=*/true);
 
   sweep("2D weighted dominance", [](cgm::Machine& m, std::size_t n) {
     geom::dominance_counts(m, geom::random_wpoints2(n, n));

@@ -19,7 +19,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   const std::uint32_t v = 8, D = 4;
   const std::size_t B = 4096;
   std::printf(
@@ -29,11 +30,16 @@ int main() {
   Table t({"problem", "N (nodes/edges)", "app rounds", "parallel I/Os",
            "ratio", "ratio growth"});
   auto sweep = [&](const std::string& name, auto&& runner,
-                   std::size_t rec_bytes) {
+                   std::size_t rec_bytes, bool traced_sweep = false) {
     double prev = 0;
     for (std::size_t n : {10000u, 20000u, 40000u}) {
-      cgm::Machine m(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+      auto cfg = standard_config(v, 1, D, B);
+      // Under --trace, the traced sweep's largest point is the traced run.
+      const bool traced = traced_sweep && n == 40000u;
+      if (traced) trace.arm(cfg);
+      cgm::Machine m(cgm::EngineKind::kEm, cfg);
       runner(m, n);
+      if (traced) trace.write(m.engine());
       const double stream = static_cast<double>(n) * rec_bytes / (D * B);
       const double ratio = m.total().io.total_ops() / stream;
       t.row({name, fmt_u(n), fmt_u(m.total().app_rounds),
@@ -45,7 +51,7 @@ int main() {
 
   sweep("list ranking", [](cgm::Machine& m, std::size_t n) {
     graph::list_ranking(m, graph::random_list(n, n));
-  }, sizeof(graph::ListNode));
+  }, sizeof(graph::ListNode), /*traced_sweep=*/true);
 
   sweep("Euler tour (+depth/preorder)", [](cgm::Machine& m, std::size_t n) {
     graph::euler_tour(m, graph::random_tree(n, n), n);

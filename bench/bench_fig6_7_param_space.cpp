@@ -10,7 +10,13 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Analytic benchmark: no engine runs, so --trace has nothing to record.
+  // Parsed anyway so the flag is uniformly accepted across the suite.
+  const TraceOption trace = trace_arg(argc, argv);
+  if (trace.on()) {
+    std::printf("note: --trace ignored (analytic benchmark, no engine runs)\n\n");
+  }
   std::printf(
       "Fig. 6 reproduction: minimal N on the surface N = v^{c/(c-1)} * B"
       " (items), B in items.\n\n");

@@ -13,7 +13,8 @@
 using namespace emcgm;
 using namespace emcgm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceOption trace = trace_arg(argc, argv);
   pdm::DiskCostModel cost;
   std::printf(
       "Fig. 8 reproduction (model): effective per-disk throughput vs block"
@@ -38,8 +39,12 @@ int main() {
   Table t({"B (bytes)", "parallel I/Os", "modeled I/O time (s)",
            "effective MB/s moved"});
   for (std::size_t B : {512u, 2048u, 8192u, 32768u, 131072u}) {
-    cgm::Machine em(cgm::EngineKind::kEm, standard_config(8, 1, 2, B));
+    auto cfg = standard_config(8, 1, 2, B);
+    const bool traced = B == 8192u;  // the paper's B ~ 10^3-item knee
+    if (traced) trace.arm(cfg);
+    cgm::Machine em(cgm::EngineKind::kEm, cfg);
     algo::sort_keys(em, keys);
+    if (traced) trace.write(em.engine());
     const auto& io = em.total().io;
     const double secs = cost.io_seconds(io, B);
     const double bytes_moved = static_cast<double>(io.total_blocks()) * B;

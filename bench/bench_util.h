@@ -1,7 +1,9 @@
 // Shared helpers for the figure-reproduction benchmarks: machine builders,
-// a fixed-width table printer that mirrors the paper's presentation, and a
+// a fixed-width table printer that mirrors the paper's presentation, a
 // --json <path> flag so CI and plotting scripts consume the same numbers
-// the terminal shows.
+// the terminal shows, and a --trace <path> flag that arms the observability
+// subsystem on a representative run and exports a Chrome trace (Perfetto)
+// plus its per-superstep metrics sibling.
 #pragma once
 
 #include <cstdio>
@@ -11,10 +13,17 @@
 #include <utility>
 #include <vector>
 
+#include "cgm/engine.h"
 #include "cgm/machine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdm/cost_model.h"
 
 namespace emcgm::bench {
+
+/// Schema tag for the --json report envelope (bump on breaking changes).
+inline constexpr const char* kBenchSchema = "emcgm-bench/2";
 
 inline cgm::MachineConfig standard_config(std::uint32_t v, std::uint32_t p,
                                           std::uint32_t D, std::size_t B) {
@@ -128,8 +137,10 @@ inline std::string json_arg(int argc, char** argv) {
   return "";
 }
 
-/// Write every table of a benchmark run to `path` as a JSON array, one
-/// object per table. No-op when path is empty.
+/// Write every table of a benchmark run to `path` as a schema-tagged
+/// envelope {"schema": "emcgm-bench/2", "tables": [...]}, one object per
+/// table. (Version 1 was a bare array; the envelope lets consumers detect
+/// column changes instead of silently misparsing.) No-op when path is empty.
 inline void write_json_report(const std::string& path,
                               const std::vector<std::pair<std::string, Table>>&
                                   tables) {
@@ -139,14 +150,65 @@ inline void write_json_report(const std::string& path,
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     std::exit(2);
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\"schema\": \"%s\",\n \"tables\": [\n", kBenchSchema);
   for (std::size_t i = 0; i < tables.size(); ++i) {
     if (i) std::fprintf(f, ",\n");
     tables[i].second.write_json(f, tables[i].first);
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "]}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// --trace <path> support. Benchmarks `arm()` one representative config
+/// (observability costs nothing elsewhere: disabled engines allocate no
+/// tracer at all) and `write()` the engine's trace after the run:
+/// Chrome-trace JSON at `path` plus metrics at metrics_path_for(path).
+struct TraceOption {
+  std::string path;
+
+  bool on() const { return !path.empty(); }
+
+  /// Enable span tracing + metrics on this config.
+  void arm(cgm::MachineConfig& cfg) const {
+    if (on()) cfg.obs.trace = true;
+  }
+
+  /// Export the engine's trace. No-op when --trace was absent or the engine
+  /// was not armed.
+  void write(const cgm::Engine& engine) const {
+    if (!on() || !engine.tracer()) return;
+    obs::write_chrome_trace(path, *engine.tracer(), engine.metrics());
+    std::printf("wrote %s\n", path.c_str());
+    if (engine.metrics()) {
+      const std::string mpath = obs::metrics_path_for(path);
+      obs::write_metrics_json(mpath, *engine.metrics(),
+                              engine.config().disk.num_disks,
+                              engine.config().disk.block_bytes);
+      std::printf("wrote %s\n", mpath.c_str());
+    }
+  }
+};
+
+/// Parse `--trace <path>` (or `--trace=<path>`) from argv. Empty path =
+/// flag absent; exits with a usage message when the flag is malformed.
+inline TraceOption trace_arg(int argc, char** argv) {
+  TraceOption opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--trace <path>]\n", argv[0]);
+        std::exit(2);
+      }
+      opt.path = argv[i + 1];
+      return opt;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.path = argv[i] + 8;
+      return opt;
+    }
+  }
+  return opt;
 }
 
 inline std::string fmt(double x, int prec = 2) {

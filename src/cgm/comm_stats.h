@@ -37,11 +37,13 @@ struct StepComm {
     return max_sent > max_recv ? max_sent : max_recv;
   }
 
-  // Thread-safety discipline: StepComm is only ever filled at the superstep
-  // barrier, single-threaded, from the per-group outcomes the worker threads
-  // left behind (and from SimNetwork's canonically-merged round statistics).
+  // Thread-safety discipline (DESIGN.md §10/§11): StepComm is entirely
+  // *barrier-owned* — only ever filled at the superstep barrier, single-
+  // threaded, from the per-group outcomes the worker threads left behind
+  // (and from SimNetwork's canonically shard-merged round statistics).
   // Worker threads never touch a StepComm — which is why use_threads changes
-  // no field here, bit for bit (asserted by the threaded-determinism sweeps).
+  // no field here, bit for bit (asserted by the threaded-determinism sweeps
+  // and ObsThreaded.ShardCountersBarrierInvariant).
   friend bool operator==(const StepComm&, const StepComm&) = default;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/net_fault.h"
+#include "obs/obs_config.h"
 #include "pdm/backend.h"
 #include "pdm/fault.h"
 #include "pdm/geometry.h"
@@ -57,6 +58,14 @@ struct MachineConfig {
   pdm::BackendKind backend = pdm::BackendKind::kMemory;
   std::string file_dir;  ///< directory for BackendKind::kFile
 
+  /// Multi-node file layout: when non-empty (exactly p entries), real
+  /// processor r's disks live under their own directory subtree
+  /// file_roots[r] — emulating p separate machines with separate
+  /// filesystems — instead of file_dir + "/proc<r>". A fail-over then
+  /// remounts the dead host's subtree from the survivor, crossing a real
+  /// filesystem boundary. BackendKind::kFile only.
+  std::vector<std::string> file_roots{};
+
   /// Run real processors on std::thread, one per host, with crossing
   /// batches posted into SimNetwork's per-link mailboxes as each store
   /// group finishes (delivery overlaps compute; see net.mailbox_pump).
@@ -91,6 +100,11 @@ struct MachineConfig {
   /// fail-over from the last committed checkpoint.
   net::NetConfig net{};
 
+  /// Observability (obs/): phase-scoped tracing + per-superstep metrics.
+  /// Off by default; disabled runs allocate nothing on hot paths and are
+  /// bit-identical — outputs and every stat counter — to a pre-obs build.
+  obs::ObsConfig obs{};
+
   void validate() const {
     EMCGM_CHECK_MSG(v >= 1, "need at least one virtual processor");
     EMCGM_CHECK_MSG(p >= 1 && p <= v, "need 1 <= p <= v");
@@ -113,6 +127,10 @@ struct MachineConfig {
                     "network retry policy needs at least one attempt");
     EMCGM_CHECK_MSG(!net.enabled || net.mtu_bytes > 0,
                     "network MTU must be positive");
+    EMCGM_CHECK_MSG(file_roots.empty() || file_roots.size() == p,
+                    "file_roots must be empty or have exactly p entries");
+    EMCGM_CHECK_MSG(file_roots.empty() || backend == pdm::BackendKind::kFile,
+                    "file_roots requires BackendKind::kFile");
     disk.validate();
   }
 };

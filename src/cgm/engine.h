@@ -16,6 +16,11 @@
 #include "net/net_stats.h"
 #include "pdm/io_stats.h"
 
+namespace emcgm::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace emcgm::obs
+
 namespace emcgm::cgm {
 
 /// One logical value distributed over the v virtual processors: parts[j] is
@@ -76,6 +81,14 @@ class Engine {
   virtual const RunResult& total() const = 0;
 
   virtual void reset_totals() = 0;
+
+  /// Phase-scoped span trace of this engine, or nullptr when observability
+  /// is off (config().obs.trace). Spans accumulate across run() calls.
+  virtual const obs::Tracer* tracer() const { return nullptr; }
+
+  /// Per-physical-superstep metrics snapshots, or nullptr when
+  /// observability is off.
+  virtual const obs::MetricsRegistry* metrics() const { return nullptr; }
 };
 
 /// Accumulate per-superstep communication statistics from a delivered batch

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cgm/proc_ctx.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/balanced_routing.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -39,7 +41,13 @@ void record_step_comm(StepComm& step, const std::vector<Message>& delivered,
 
 NativeEngine::NativeEngine(MachineConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
+  if (cfg_.obs.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(1);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
 }
+
+NativeEngine::~NativeEngine() = default;
 
 std::vector<PartitionSet> NativeEngine::run(
     const Program& program, std::vector<PartitionSet> inputs) {
@@ -72,20 +80,48 @@ std::vector<PartitionSet> NativeEngine::run(
   std::vector<std::vector<Message>> inboxes(v);
   bool all_done = false;
 
+  obs::Tracer* const tr = tracer_.get();
+  obs::TraceShard* const shard = tr ? &tr->host_shard(0) : nullptr;
+  std::uint64_t phys = 0;  ///< physical superstep counter (metrics rows)
+  Timer step_timer;
+  auto record_metrics = [&](std::uint64_t round, const char* phase_label,
+                            const StepComm* comm) {
+    if (!metrics_) return;
+    obs::SuperstepMetrics m;
+    m.step = phys;
+    m.round = round;
+    m.phase = phase_label;
+    if (comm) {
+      m.has_comm = true;
+      m.comm = *comm;
+    }
+    m.wall_s = step_timer.elapsed_s();
+    m.end_ns = tr->now_ns();
+    metrics_->record(std::move(m));
+    step_timer.reset();
+  };
+
   for (std::uint64_t round = 0; !all_done; ++round) {
     EMCGM_CHECK_MSG(round < kMaxRounds,
                     "program '" << program.name() << "' exceeded "
                                 << kMaxRounds << " rounds");
+
+    obs::SpanScope round_span(tr, shard, obs::SpanKind::kSuperstep, 0, 0, -1,
+                              -1, phys, round);
 
     // Computation phase of the compound superstep.
     std::vector<std::vector<Message>> outboxes(v);
     bool any_done = false;
     all_done = true;
     for (std::uint32_t j = 0; j < v; ++j) {
+      const std::size_t inbox_msgs = inboxes[j].size();
+      obs::SpanScope span(tr, shard, obs::SpanKind::kCompute, 0, j, -1, j,
+                          phys, round);
       ctxs[j].begin_superstep(round, std::move(inboxes[j]));
       inboxes[j].clear();
       program.round(ctxs[j], *states[j]);
       outboxes[j] = ctxs[j].take_outbox();
+      span.set_aux(inbox_msgs, outboxes[j].size());
       const bool d = program.done(ctxs[j], *states[j]);
       any_done = any_done || d;
       all_done = all_done && d;
@@ -105,6 +141,8 @@ std::vector<PartitionSet> NativeEngine::run(
                         "program '" << program.name()
                                     << "' sent messages in its final round");
       }
+      record_metrics(round, "final", nullptr);
+      ++phys;
       break;
     }
 
@@ -117,9 +155,16 @@ std::vector<PartitionSet> NativeEngine::run(
         for (auto& m : ob) delivered.push_back(std::move(m));
       }
       record_step_comm(step, delivered, v);
-      for (auto& m : delivered) inboxes[m.dst].push_back(std::move(m));
+      {
+        obs::SpanScope span(tr, shard, obs::SpanKind::kDeliver, 0, 0, -1, -1,
+                            phys, round);
+        span.set_aux(step.messages, step.bytes);
+        for (auto& m : delivered) inboxes[m.dst].push_back(std::move(m));
+      }
       result.comm.steps.push_back(step);
       result.comm_steps += 1;
+      record_metrics(round, "compute", &step);
+      ++phys;
     } else {
       // Round A: source -> intermediate.
       StepComm step_a;
@@ -132,9 +177,14 @@ std::vector<PartitionSet> NativeEngine::run(
           }
         }
         record_step_comm(step_a, delivered, v);
+        obs::SpanScope span(tr, shard, obs::SpanKind::kDeliver, 0, 0, -1, -1,
+                            phys, round);
+        span.set_aux(step_a.messages, step_a.bytes);
         for (auto& m : delivered) inter_inbox[m.dst].push_back(std::move(m));
       }
       result.comm.steps.push_back(step_a);
+      record_metrics(round, "compute", &step_a);
+      ++phys;
 
       // Round B: intermediate -> final destination.
       StepComm step_b;
@@ -147,6 +197,9 @@ std::vector<PartitionSet> NativeEngine::run(
           }
         }
         record_step_comm(step_b, delivered, v);
+        obs::SpanScope span(tr, shard, obs::SpanKind::kDeliver, 0, 0, -1, -1,
+                            phys, round);
+        span.set_aux(step_b.messages, step_b.bytes);
         std::vector<std::vector<Message>> final_phys(v);
         for (auto& m : delivered) final_phys[m.dst].push_back(std::move(m));
         for (std::uint32_t j = 0; j < v; ++j) {
@@ -154,7 +207,8 @@ std::vector<PartitionSet> NativeEngine::run(
         }
       }
       result.comm.steps.push_back(step_b);
-      result.comm_steps += 2;
+      record_metrics(round, "regroup", &step_b);
+      ++phys;
     }
   }
 

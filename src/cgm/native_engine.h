@@ -4,6 +4,8 @@
 // byte-for-byte (test suite invariant 4).
 #pragma once
 
+#include <memory>
+
 #include "cgm/engine.h"
 
 namespace emcgm::cgm {
@@ -11,6 +13,7 @@ namespace emcgm::cgm {
 class NativeEngine final : public Engine {
  public:
   explicit NativeEngine(MachineConfig cfg);
+  ~NativeEngine() override;
 
   const MachineConfig& config() const override { return cfg_; }
 
@@ -21,10 +24,20 @@ class NativeEngine final : public Engine {
   const RunResult& total() const override { return total_; }
   void reset_totals() override { total_ = RunResult{}; }
 
+  const obs::Tracer* tracer() const override { return tracer_.get(); }
+  const obs::MetricsRegistry* metrics() const override {
+    return metrics_.get();
+  }
+
  private:
   MachineConfig cfg_;
   RunResult last_;
   RunResult total_;
+  // Observability (cfg_.obs.trace; both null when off). The native machine
+  // has no disks: spans cover compute and delivery, metrics rows carry the
+  // per-round h-relation with zero I/O.
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 }  // namespace emcgm::cgm

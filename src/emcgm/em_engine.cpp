@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "cgm/proc_ctx.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pdm/checksum.h"
 #include "routing/balanced_routing.h"
 #include "util/error.h"
@@ -111,7 +113,11 @@ struct EmEngine::RealProc {
   RealProc(const cgm::MachineConfig& cfg, std::uint32_t index) {
     std::string dir;
     if (cfg.backend == pdm::BackendKind::kFile) {
-      dir = cfg.file_dir + "/proc" + std::to_string(index);
+      // Multi-node layout: each real processor's disks under its own root
+      // (separate filesystems); otherwise subdirectories of one file_dir.
+      dir = cfg.file_roots.empty()
+                ? cfg.file_dir + "/proc" + std::to_string(index)
+                : cfg.file_roots[index];
     }
     pdm::DiskArrayOptions opts;
     opts.checksums = cfg.checksums;
@@ -138,6 +144,10 @@ EmEngine::EmEngine(cgm::MachineConfig cfg) : cfg_(std::move(cfg)) {
   group_host_.resize(cfg_.p);
   std::iota(group_host_.begin(), group_host_.end(), 0u);
   alive_.assign(cfg_.p, 1);
+  if (cfg_.obs.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(cfg_.p);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
 }
 
 EmEngine::~EmEngine() = default;
@@ -191,8 +201,14 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
   // previous boundary (in the other slot) authoritative.
   std::vector<std::uint32_t> crashed;
   std::exception_ptr cause;
+  obs::Tracer* tr = tracer_.get();
   for (std::uint32_t g = 0; g < cfg_.p; ++g) {
     auto& rp = *procs_[g];
+    // Commit runs on the barrier thread; render the span on the group's
+    // host so checkpoint cost shows up where the disks live.
+    obs::SpanScope span(tr, tr ? &tr->engine_shard() : nullptr,
+                        obs::SpanKind::kCommit, group_host_[g], g, g, -1,
+                        phys_step_, round, &rp.disks->stats());
     try {
       WriteArchive ar;
       ar.put<std::uint32_t>(kCkptMagic);
@@ -210,6 +226,7 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
       rp.messages->save(ar);
       ar.put<std::uint32_t>(pdm::crc32c(ar.buffer()));
       auto blob = ar.take();
+      span.set_aux(blob.size());
 
       auto& ck = *rp.ckpt[slot];
       ck.cursor.reset();
@@ -232,7 +249,12 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
 void EmEngine::restore_from_commit() {
   EMCGM_CHECK_MSG(commit_.valid, "no committed checkpoint to resume from");
   const int slot = static_cast<int>(commit_.seq % 2);
-  for (auto& rp : procs_) {
+  obs::Tracer* tr = tracer_.get();
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    auto& rp = procs_[g];
+    obs::SpanScope span(tr, tr ? &tr->engine_shard() : nullptr,
+                        obs::SpanKind::kRecovery, group_host_[g], g, g, -1,
+                        phys_step_, commit_.round, &rp->disks->stats());
     EMCGM_CHECK_MSG(rp->contexts && rp->messages,
                     "resume() before run() set up the stores");
     auto& ck = *rp->ckpt[slot];
@@ -354,6 +376,7 @@ std::vector<cgm::PartitionSet> EmEngine::run(
   net_.reset();
   if (cfg_.net.enabled && p > 1) {
     net_ = std::make_unique<net::SimNetwork>(p, cfg_.net);
+    if (tracer_) net_->set_tracer(tracer_.get());
   }
 
   pdm::IoStats io_before;
@@ -418,15 +441,21 @@ std::vector<cgm::PartitionSet> EmEngine::run(
     WriteArchive probe;
     fresh->save(probe);  // ensure save() works on a default state up front
   }
-  for (std::uint32_t g = 0; g < v; ++g) {
-    std::vector<std::vector<std::byte>> mine;
-    mine.reserve(inputs.size());
-    for (auto& slot : inputs) mine.push_back(std::move(slot.parts[g]));
-    const auto state = program.make_state();
-    const auto blob = pack_context(mine, *state, {});
-    procs_[owner_of(g)]->contexts->write(g % nloc, blob);
+  {
+    obs::Tracer* tr = tracer_.get();
+    obs::SpanScope setup_span(tr, tr ? &tr->engine_shard() : nullptr,
+                              obs::SpanKind::kContextWrite, tr ? tr->p() : 0,
+                              0, -1, -1, phys_step_, 0);
+    for (std::uint32_t g = 0; g < v; ++g) {
+      std::vector<std::vector<std::byte>> mine;
+      mine.reserve(inputs.size());
+      for (auto& slot : inputs) mine.push_back(std::move(slot.parts[g]));
+      const auto state = program.make_state();
+      const auto blob = pack_context(mine, *state, {});
+      procs_[owner_of(g)]->contexts->write(g % nloc, blob);
+    }
+    for (auto& rp : procs_) rp->contexts->flip();
   }
-  for (auto& rp : procs_) rp->contexts->flip();
 
   // Superstep 0 is now recoverable: the inputs live on disk. A machine that
   // dies this early took uncommitted inputs with it — nothing to fail over
@@ -469,13 +498,52 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   const bool balanced = cfg_.balanced_routing;
   cgm::RunResult result;
 
-  // Per-superstep I/O trace: delta of the summed disk statistics.
+  // Declared ahead of the phase lambdas so spans can tag the application
+  // round they run under.
+  std::uint64_t round = start_round;
+  Phase phase = start_phase;
+  bool all_done = (phase == Phase::kDone);
+
+  obs::Tracer* const tr = tracer_.get();
+  obs::TraceShard* const eshard = tr ? &tr->engine_shard() : nullptr;
+  const std::uint32_t epid = tr ? tr->engine_pid() : 0;
+
+  // Per-superstep I/O trace: delta of the summed disk statistics. With
+  // observability on, the same barrier also snapshots one MetricsRegistry
+  // row — IoStats/StepComm/NetStats deltas plus the cost model's predicted
+  // I/O seconds for the counted ops, against the measured step wall clock.
   pdm::IoStats trace_mark = io_before;
-  auto record_step_io = [&] {
+  net::NetStats net_step_mark = net_ ? net_->stats() : net::NetStats{};
+  Timer step_timer;
+  auto record_step_io = [&](const char* phase_label, bool has_comm,
+                            std::uint64_t step_round) {
     pdm::IoStats now;
     for (auto& rp : procs_) now += rp->disks->stats();
-    result.io_per_step.push_back(now - trace_mark);
+    const pdm::IoStats delta = now - trace_mark;
+    result.io_per_step.push_back(delta);
     trace_mark = now;
+    if (metrics_) {
+      obs::SuperstepMetrics m;
+      m.step = phys_step_;
+      m.round = step_round;
+      m.phase = phase_label;
+      m.io = delta;
+      if (has_comm && !result.comm.steps.empty()) {
+        m.has_comm = true;
+        m.comm = result.comm.steps.back();
+      }
+      if (net_) {
+        const net::NetStats net_now = net_->stats();
+        m.net = net_now - net_step_mark;
+        net_step_mark = net_now;
+      }
+      m.wall_s = step_timer.elapsed_s();
+      m.model_io_s = pdm::DiskCostModel{}.io_seconds(delta,
+                                                     cfg_.disk.block_bytes);
+      m.end_ns = tr->now_ns();
+      metrics_->record(std::move(m));
+    }
+    step_timer.reset();
   };
 
   // One store group's work during a computation superstep. A store group is
@@ -490,50 +558,86 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     std::exception_ptr error;
   };
 
-  auto simulate_real_proc = [&](std::uint32_t r, std::uint64_t round,
-                                ProcOutcome& out) {
+  auto simulate_real_proc = [&](std::uint32_t r, ProcOutcome& out) {
     try {
       auto& rp = *procs_[r];
+      // Span shard discipline: group r's spans go into the shard of the
+      // *host driving it* — exactly one thread per host — while the span's
+      // rendering coordinates stay with the group's disks.
+      const std::uint32_t host = group_host_[r];
+      obs::TraceShard* shard = tr ? &tr->host_shard(host) : nullptr;
+      const pdm::IoStats* io_src = tr ? &rp.disks->stats() : nullptr;
+      obs::SpanScope group_span(tr, shard, obs::SpanKind::kGroupStep, host, r,
+                                r, -1, phys_step_, round, io_src);
       out.by_owner.assign(p, {});
       out.done.assign(nloc, 0);
       for (std::uint32_t jl = 0; jl < nloc; ++jl) {
         const std::uint32_t g = r * nloc + jl;
         // (a) context in.
-        const auto blob = rp.contexts->read(jl);
         auto state = program.make_state();
-        auto unpacked = unpack_context(blob, *state);
-        // (b) messages in.
-        auto inbox = rp.messages->read_incoming(g);
-        if (balanced && round > 0) {
-          inbox = routing::decode_phase_b(v, g, inbox);
+        UnpackedContext unpacked;
+        {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kContextRead, host, r,
+                              r, g, phys_step_, round, io_src);
+          const auto blob = rp.contexts->read(jl);
+          unpacked = unpack_context(blob, *state);
         }
+        // (b) messages in.
+        std::vector<cgm::Message> inbox;
+        {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kInboxRead, host, r,
+                              r, g, phys_step_, round, io_src);
+          inbox = rp.messages->read_incoming(g);
+          if (balanced && round > 0) {
+            inbox = routing::decode_phase_b(v, g, inbox);
+          }
+        }
+        const std::size_t inbox_msgs = inbox.size();
         // (c) compute.
         cgm::ProcCtx pctx(g, v, cfg_.seed);
-        pctx.set_inputs(std::move(unpacked.inputs));
-        pctx.outputs() = std::move(unpacked.outputs);
-        pctx.begin_superstep(round, std::move(inbox));
-        program.round(pctx, *state);
-        out.done[jl] = program.done(pctx, *state) ? 1 : 0;
-        auto outbox = pctx.take_outbox();
-        if (out.done[jl]) {
-          EMCGM_CHECK_MSG(outbox.empty(),
-                          "program '" << program.name()
-                                      << "' sent messages in its final round");
+        std::vector<cgm::Message> physical;
+        {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kCompute, host, r, r,
+                              g, phys_step_, round);
+          pctx.set_inputs(std::move(unpacked.inputs));
+          pctx.outputs() = std::move(unpacked.outputs);
+          pctx.begin_superstep(round, std::move(inbox));
+          program.round(pctx, *state);
+          out.done[jl] = program.done(pctx, *state) ? 1 : 0;
+          auto outbox = pctx.take_outbox();
+          if (out.done[jl]) {
+            EMCGM_CHECK_MSG(outbox.empty(),
+                            "program '"
+                                << program.name()
+                                << "' sent messages in its final round");
+          }
+          span.set_aux(inbox_msgs, outbox.size());
+          physical = balanced ? routing::encode_phase_a(v, g, outbox)
+                              : std::move(outbox);
         }
-        auto physical = balanced ? routing::encode_phase_a(v, g, outbox)
-                                 : std::move(outbox);
         // (d) messages out. Locally addressed messages are written
         // immediately when p == 1 (Algorithm 2 order, which is what the
         // Observation-2 freed-slot reuse relies on); with p > 1 everything
         // is delivered at superstep end (Algorithm 3: "upon arrival").
-        if (p == 1) {
-          rp.messages->write_messages(physical);
-        } else {
-          for (auto& m : physical) {
-            out.by_owner[owner_of(m.dst)].push_back(std::move(m));
+        {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kOutboxWrite, host, r,
+                              r, g, phys_step_, round, io_src);
+          if (tr) {
+            std::uint64_t bytes = 0;
+            for (const auto& m : physical) bytes += m.payload.size();
+            span.set_aux(physical.size(), bytes);
+          }
+          if (p == 1) {
+            rp.messages->write_messages(physical);
+          } else {
+            for (auto& m : physical) {
+              out.by_owner[owner_of(m.dst)].push_back(std::move(m));
+            }
           }
         }
         // (e) context out (inputs are consumed by round 0).
+        obs::SpanScope span(tr, shard, obs::SpanKind::kContextWrite, host, r,
+                            r, g, phys_step_, round, io_src);
         const auto new_blob = pack_context({}, *state, pctx.outputs());
         if (cfg_.memory_bytes > 0) {
           const std::size_t resident = new_blob.size() + pctx.resident_bytes();
@@ -554,11 +658,28 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   auto regroup_real_proc = [&](std::uint32_t r, ProcOutcome& out) {
     try {
       auto& rp = *procs_[r];
+      const std::uint32_t host = group_host_[r];
+      obs::TraceShard* shard = tr ? &tr->host_shard(host) : nullptr;
+      const pdm::IoStats* io_src = tr ? &rp.disks->stats() : nullptr;
+      obs::SpanScope group_span(tr, shard, obs::SpanKind::kGroupStep, host, r,
+                                r, -1, phys_step_, round, io_src);
       out.by_owner.assign(p, {});
       for (std::uint32_t jl = 0; jl < nloc; ++jl) {
         const std::uint32_t g = r * nloc + jl;
-        auto inbox = rp.messages->read_incoming(g);
+        std::vector<cgm::Message> inbox;
+        {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kInboxRead, host, r,
+                              r, g, phys_step_, round, io_src);
+          inbox = rp.messages->read_incoming(g);
+        }
+        obs::SpanScope span(tr, shard, obs::SpanKind::kOutboxWrite, host, r,
+                            r, g, phys_step_, round, io_src);
         auto physical = routing::transform_intermediate(v, g, inbox);
+        if (tr) {
+          std::uint64_t bytes = 0;
+          for (const auto& m : physical) bytes += m.payload.size();
+          span.set_aux(physical.size(), bytes);
+        }
         if (p == 1) {
           rp.messages->write_messages(physical);
         } else {
@@ -582,6 +703,10 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   // is what keeps StepComm accumulation race-free without shadow counters.
   auto post_group = [&](std::uint32_t host, std::uint32_t g,
                         ProcOutcome& out) {
+    obs::SpanScope span(tr, tr ? &tr->host_shard(host) : nullptr,
+                        obs::SpanKind::kNetPost, host, g, g, -1, phys_step_,
+                        round);
+    std::uint64_t posted_bytes = 0;
     for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
       const auto& batch = out.by_owner[dst_g];
       if (batch.empty() || group_host_[dst_g] == host) continue;
@@ -594,8 +719,10 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         ar.put<std::uint32_t>(m.dst);
         ar.put_bytes(m.payload);
       }
+      posted_bytes += ar.size();
       net_->post(host, group_host_[dst_g], ar.take());
     }
+    span.set_aux(posted_bytes);
   };
 
   // Run one phase across all p store groups: one worker per *live* host,
@@ -708,6 +835,8 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         }
       }
       if (net_) {
+        obs::SpanScope net_span(tr, eshard, obs::SpanKind::kNetCollect, epid,
+                                0, -1, -1, phys_step_, round);
         std::vector<std::vector<net::Delivery>> inboxes;
         try {
           inboxes = net_->collect();
@@ -756,6 +885,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         const net::NetStats delta = net_->stats() - net_mark;
         step.wire_bytes = delta.wire_bytes;
         step.retransmissions = delta.retransmissions;
+        net_span.set_aux(delta.wire_bytes, delta.retransmissions);
       }
 
       std::vector<std::uint32_t> crashed;
@@ -775,6 +905,17 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
                              return a.src != b.src ? a.src < b.src
                                                    : a.dst < b.dst;
                            });
+          // Arrival writes run at the barrier (main thread) but touch the
+          // destination group's disks — render them there.
+          obs::SpanScope span(tr, eshard, obs::SpanKind::kOutboxWrite,
+                              group_host_[dst_g], dst_g, dst_g, -1,
+                              phys_step_, round,
+                              tr ? &procs_[dst_g]->disks->stats() : nullptr);
+          if (tr) {
+            std::uint64_t bytes = 0;
+            for (const auto& m : arrivals) bytes += m.payload.size();
+            span.set_aux(arrivals.size(), bytes);
+          }
           try {
             procs_[dst_g]->messages->write_messages(arrivals);
           } catch (const IoError& e) {
@@ -796,9 +937,6 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     result.comm_steps += 1;
   };
 
-  std::uint64_t round = start_round;
-  Phase phase = start_phase;
-  bool all_done = (phase == Phase::kDone);
   const net::NetStats net_before = net_ ? net_->stats() : net::NetStats{};
 
   while (!all_done) {
@@ -806,13 +944,21 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
                     "program '" << program.name() << "' exceeded "
                                 << kMaxRounds << " rounds");
     try {
+      // Engine-shard backbone: one superstep span per physical step; child
+      // barrier spans (heartbeat, net collect, commit) nest inside it.
+      obs::SpanScope step_span(tr, eshard, obs::SpanKind::kSuperstep, epid, 0,
+                               -1, -1, phys_step_, round);
+      step_span.set_aux(static_cast<std::uint64_t>(phase));
       if (net_) {
         // The physical superstep clock drives the fail-stop trigger and the
         // failure detector. It is monotonic: a replayed superstep is a new
         // physical step, so a fault schedule never re-fires "in the past".
         net_->set_step(phys_step_);
         if (cfg_.net.failover) {
+          obs::SpanScope hb_span(tr, eshard, obs::SpanKind::kHeartbeat, epid,
+                                 0, -1, -1, phys_step_, round);
           auto newly_dead = net_->heartbeat_round(phys_step_);
+          hb_span.set_aux(newly_dead.size());
           if (!newly_dead.empty()) {
             throw DeadProcsError{std::move(newly_dead), nullptr};
           }
@@ -823,7 +969,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         // as their groups finish; deliver_staged collects at the barrier.
         if (net_) net_->begin_round();
         auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
-          simulate_real_proc(r, round, o);
+          simulate_real_proc(r, o);
         });
         result.app_rounds += 1;
 
@@ -843,22 +989,27 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         if (all_done) {
           // A final round sends nothing (enforced above), so the open
           // mailbox round is empty — close it without a delivery pass.
-          if (net_) net_->collect();
+          if (net_) {
+            obs::SpanScope net_span(tr, eshard, obs::SpanKind::kNetCollect,
+                                    epid, 0, -1, -1, phys_step_, round);
+            net_->collect();
+          }
           if (cfg_.checkpointing) commit(round, Phase::kDone);
-          record_step_io();
+          record_step_io("final", false, round);
           ++phys_step_;
           break;
         }
 
         deliver_staged(outcomes);
         for (auto& rp : procs_) rp->messages->flip();
+        const std::uint64_t ran_round = round;
         if (balanced) {
           phase = Phase::kRegroup;
         } else {
           ++round;
         }
         if (cfg_.checkpointing) commit(round, phase);
-        record_step_io();
+        record_step_io("compute", true, ran_round);
       } else {
         if (net_) net_->begin_round();
         auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
@@ -866,10 +1017,11 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         });
         deliver_staged(regroup);
         for (auto& rp : procs_) rp->messages->flip();
+        const std::uint64_t ran_round = round;
         phase = Phase::kCompute;
         ++round;
         if (cfg_.checkpointing) commit(round, phase);
-        record_step_io();
+        record_step_io("regroup", true, ran_round);
       }
       ++phys_step_;
     } catch (const DeadProcsError& e) {
@@ -889,6 +1041,9 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   // back; the final boundary is committed (Phase::kDone), so absorbing the
   // loss and re-reading through the survivor is safe.
   std::vector<cgm::PartitionSet> outputs;
+  obs::SpanScope out_span(tr, eshard, obs::SpanKind::kOutputCollect, epid, 0,
+                          -1, -1, phys_step_, round);
+  out_span.set_aux(v);
   for (;;) {
     std::uint32_t reading_group = 0;
     try {
@@ -915,7 +1070,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   }
   for (auto& slot : outputs) slot.parts.resize(v);
 
-  record_step_io();  // output-collection reads
+  record_step_io("output", false, round);  // output-collection reads
 
   pdm::IoStats io_after;
   for (auto& rp : procs_) io_after += rp->disks->stats();

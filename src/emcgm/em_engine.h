@@ -88,6 +88,11 @@ class EmEngine final : public cgm::Engine {
   /// p == 1). Exposes wire statistics beyond last_result().net.
   const net::SimNetwork* network() const { return net_.get(); }
 
+  const obs::Tracer* tracer() const override { return tracer_.get(); }
+  const obs::MetricsRegistry* metrics() const override {
+    return metrics_.get();
+  }
+
  private:
   struct RealProc;
 
@@ -134,6 +139,11 @@ class EmEngine final : public cgm::Engine {
   std::vector<std::uint32_t> group_host_;
   std::vector<char> alive_;
   std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock
+
+  // Observability (cfg_.obs.trace; both null when off — every
+  // instrumentation site below is then a single pointer test).
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   cgm::RunResult last_;
   cgm::RunResult total_;

@@ -11,10 +11,12 @@
 // Every counter is an additive sum over ordered links, and each link's
 // timeline is a pure function of (send content, fault plan) — see
 // sim_network.h on pair decomposition. Under concurrent delivery the
-// counters are therefore accumulated as per-pair shards, each written by
-// exactly one thread, and merged into the global NetStats only at the
+// counters are therefore *shard-merged* (DESIGN.md §10/§11): accumulated as
+// per-pair shards, each written by exactly one thread, and folded into the
+// global NetStats — which is *barrier-owned*, main thread only — at the
 // round barrier in canonical pair order: race-free, and bit-identical to
-// the serial accumulation.
+// the serial accumulation (asserted by
+// ObsThreaded.ShardCountersBarrierInvariant).
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace emcgm::net {
 
 namespace {
@@ -302,6 +304,32 @@ std::vector<std::vector<Delivery>> SimNetwork::finish_pairs(
       stats_ += outs[slot(lo, hi)].stats;
     }
   }
+  if (tracer_) {
+    // Publish one net_pair span per pair that carried traffic, in canonical
+    // pair order. Timestamps were recorded by whichever thread simulated the
+    // pair; only this (collector) thread writes the engine shard.
+    std::uint32_t pair_index = 0;
+    for (std::uint32_t lo = 0; lo < p_; ++lo) {
+      for (std::uint32_t hi = lo + 1; hi < p_; ++hi, ++pair_index) {
+        const PairOutcome& o = outs[slot(lo, hi)];
+        if (o.stats.wire_bytes == 0 && o.stats.delivered_messages == 0) {
+          continue;
+        }
+        obs::Span s;
+        s.kind = obs::SpanKind::kNetPair;
+        s.host = tracer_->engine_pid();
+        s.track = 1 + pair_index;
+        s.group = lo;
+        s.vproc = hi;
+        s.step = cur_step_;
+        s.start_ns = o.t0_ns;
+        s.dur_ns = o.t1_ns >= o.t0_ns ? o.t1_ns - o.t0_ns : 0;
+        s.aux0 = o.stats.wire_bytes;
+        s.aux1 = o.stats.delivered_messages;
+        tracer_->engine_shard().emit(std::move(s));
+      }
+    }
+  }
   for (std::uint32_t lo = 0; lo < p_; ++lo) {
     for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
       if (outs[slot(lo, hi)].error) {
@@ -331,7 +359,10 @@ std::vector<std::vector<Delivery>> SimNetwork::run_to_quiescence() {
   std::vector<PairOutcome> outs(static_cast<std::size_t>(p_) * p_);
   for (std::uint32_t lo = 0; lo < p_; ++lo) {
     for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
-      run_pair(lo, hi, outs[slot(lo, hi)]);
+      PairOutcome& out = outs[slot(lo, hi)];
+      if (tracer_) out.t0_ns = tracer_->now_ns();
+      run_pair(lo, hi, out);
+      if (tracer_) out.t1_ns = tracer_->now_ns();
     }
   }
   return finish_pairs(outs);
@@ -365,8 +396,11 @@ void SimNetwork::run_pair_slot(std::uint32_t lo, std::uint32_t hi,
   mail_[slot(hi, lo)].clear();
   lk.unlock();
 
+  PairOutcome& out = pair_out_[slot(lo, hi)];
+  if (tracer_) out.t0_ns = tracer_->now_ns();
   load_pair_mail(lo, hi, std::move(lo_hi), std::move(hi_lo));
-  run_pair(lo, hi, pair_out_[slot(lo, hi)]);
+  run_pair(lo, hi, out);
+  if (tracer_) out.t1_ns = tracer_->now_ns();
 
   lk.lock();
   pair_done_[slot(lo, hi)] = 1;

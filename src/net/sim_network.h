@@ -66,6 +66,10 @@
 #include "net/packet.h"
 #include "util/error.h"
 
+namespace emcgm::obs {
+class Tracer;
+}  // namespace emcgm::obs
+
 namespace emcgm::net {
 
 /// The reliable protocol gave up on a link: the retransmission budget
@@ -98,7 +102,17 @@ class SimNetwork {
   SimNetwork& operator=(const SimNetwork&) = delete;
 
   /// Advance the shared fault clock (fail-stop triggers are step-based).
-  void set_step(std::uint64_t step) { injector_.set_step(step); }
+  void set_step(std::uint64_t step) {
+    injector_.set_step(step);
+    cur_step_ = step;
+  }
+
+  /// Attach a phase tracer (obs subsystem; nullptr = off, the default).
+  /// Pair simulations then record their own wall-clock window — captured by
+  /// whichever thread owns the pair, race-free — and the collector publishes
+  /// one net_pair span per active pair, in canonical pair order, into the
+  /// tracer's engine shard at the round barrier.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Administratively remove a processor (engine-side fail-over decision):
   /// it neither sends nor receives from now on, and the failure detector
@@ -198,6 +212,8 @@ class SimNetwork {
     std::vector<Delivery> to_lo;  ///< deliveries to the lower endpoint
     std::vector<Delivery> to_hi;  ///< deliveries to the higher endpoint
     std::exception_ptr error;     ///< NetError, if the pair exhausted
+    std::uint64_t t0_ns = 0;      ///< tracing: simulation window of the pair
+    std::uint64_t t1_ns = 0;      ///< (recorded by the thread owning it)
   };
 
   LinkState& link(std::uint32_t src, std::uint32_t dst) {
@@ -238,6 +254,8 @@ class SimNetwork {
   std::vector<char> dead_;
   std::vector<LinkState> links_;
   NetStats stats_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional phase tracer (obs subsystem)
+  std::uint64_t cur_step_ = 0;     ///< mirrors injector_'s fault clock
 
   // Mailbox round state, guarded by mu_. pair slots use slot(lo, hi), lo <
   // hi; a pair's PairOutcome/LinkStates are owned by whichever thread

@@ -1,0 +1,247 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pdm/cost_model.h"
+#include "util/error.h"
+
+namespace emcgm::obs {
+
+namespace {
+
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f) std::fclose(f);
+  }
+};
+
+std::FILE* open_or_throw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw Error("cannot open " + path + " for writing");
+  return f;
+}
+
+/// Kind-specific names for the two aux payloads (nullptr = omit).
+void aux_names(SpanKind k, const char** a0, const char** a1) {
+  *a0 = nullptr;
+  *a1 = nullptr;
+  switch (k) {
+    case SpanKind::kSuperstep:
+      *a0 = "phase";
+      break;
+    case SpanKind::kCompute:
+      *a0 = "inbox_msgs";
+      *a1 = "outbox_msgs";
+      break;
+    case SpanKind::kOutboxWrite:
+    case SpanKind::kDeliver:
+      *a0 = "messages";
+      *a1 = "bytes";
+      break;
+    case SpanKind::kNetPost:
+      *a0 = "bytes";
+      break;
+    case SpanKind::kNetCollect:
+      *a0 = "wire_bytes";
+      *a1 = "retransmissions";
+      break;
+    case SpanKind::kNetPair:
+      *a0 = "wire_bytes";
+      *a1 = "delivered_messages";
+      break;
+    case SpanKind::kCommit:
+      *a0 = "record_bytes";
+      break;
+    case SpanKind::kHeartbeat:
+      *a0 = "newly_dead";
+      break;
+    case SpanKind::kOutputCollect:
+      *a0 = "vprocs";
+      break;
+    default:
+      break;
+  }
+}
+
+void write_event_args(std::FILE* f, const Span& s) {
+  std::fprintf(f, "\"args\":{\"step\":%llu,\"round\":%llu",
+               static_cast<unsigned long long>(s.step),
+               static_cast<unsigned long long>(s.round));
+  if (s.group >= 0) {
+    std::fprintf(f, ",\"group\":%lld, \"depth\":%u",
+                 static_cast<long long>(s.group), s.depth);
+  }
+  if (s.vproc >= 0) {
+    std::fprintf(f, ",\"vproc\":%lld", static_cast<long long>(s.vproc));
+  }
+  const char *a0, *a1;
+  aux_names(s.kind, &a0, &a1);
+  if (a0) {
+    std::fprintf(f, ",\"%s\":%llu", a0,
+                 static_cast<unsigned long long>(s.aux0));
+  }
+  if (a1) {
+    std::fprintf(f, ",\"%s\":%llu", a1,
+                 static_cast<unsigned long long>(s.aux1));
+  }
+  if (s.io.total_ops() != 0 || s.io.fsyncs != 0) {
+    std::fprintf(f,
+                 ",\"read_ops\":%llu,\"write_ops\":%llu,\"blocks_read\":%llu,"
+                 "\"blocks_written\":%llu,\"retries\":%llu,\"fsyncs\":%llu",
+                 static_cast<unsigned long long>(s.io.read_ops),
+                 static_cast<unsigned long long>(s.io.write_ops),
+                 static_cast<unsigned long long>(s.io.blocks_read),
+                 static_cast<unsigned long long>(s.io.blocks_written),
+                 static_cast<unsigned long long>(s.io.retries),
+                 static_cast<unsigned long long>(s.io.fsyncs));
+  }
+  std::fprintf(f, "}");
+}
+
+}  // namespace
+
+std::string metrics_path_for(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  std::string stem = trace_path;
+  if (stem.size() > suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
+  }
+  return stem + ".metrics.json";
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const MetricsRegistry* metrics) {
+  FileCloser fc{open_or_throw(path)};
+  write_chrome_trace(fc.f, tracer, metrics);
+}
+
+void write_chrome_trace(std::FILE* f, const Tracer& tracer,
+                        const MetricsRegistry* metrics) {
+  const auto spans = tracer.merged();
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  auto sep = [&] {
+    std::fprintf(f, first ? "" : ",\n");
+    first = false;
+  };
+
+  // Process/thread naming metadata so Perfetto's timeline reads as the
+  // machine: one process per real host, one thread lane per store group,
+  // plus the engine process for barrier work and net pair lanes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  for (const auto& s : spans) lanes.emplace(s.host, s.track);
+  for (std::uint32_t h = 0; h <= tracer.p(); ++h) {
+    sep();
+    if (h == tracer.engine_pid()) {
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                   "\"args\":{\"name\":\"engine\"}}",
+                   h);
+    } else {
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                   "\"args\":{\"name\":\"host %u\"}}",
+                   h, h);
+    }
+  }
+  for (const auto& [pid, tid] : lanes) {
+    sep();
+    if (pid == tracer.engine_pid() && tid == 0) {
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
+                   "\"tid\":%u,\"args\":{\"name\":\"barrier\"}}",
+                   pid, tid);
+    } else if (pid == tracer.engine_pid()) {
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
+                   "\"tid\":%u,\"args\":{\"name\":\"net pair %u\"}}",
+                   pid, tid, tid - 1);
+    } else {
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
+                   "\"tid\":%u,\"args\":{\"name\":\"group %u\"}}",
+                   pid, tid, tid);
+    }
+  }
+
+  for (const auto& s : spans) {
+    sep();
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,",
+                 span_name(s.kind), span_category(s.kind),
+                 static_cast<double>(s.start_ns) / 1000.0,
+                 static_cast<double>(s.dur_ns) / 1000.0, s.host, s.track);
+    write_event_args(f, s);
+    std::fprintf(f, "}");
+  }
+
+  // Per-superstep counter tracks aligned with the span timeline.
+  if (metrics) {
+    for (const auto& m : metrics->steps()) {
+      if (m.end_ns == 0) continue;
+      sep();
+      std::fprintf(f,
+                   "{\"ph\":\"C\",\"name\":\"pdm\",\"pid\":%u,\"tid\":0,"
+                   "\"ts\":%.3f,\"args\":{\"io_ops\":%llu,\"wire_bytes\":%llu,"
+                   "\"comm_bytes\":%llu}}",
+                   tracer.engine_pid(),
+                   static_cast<double>(m.end_ns) / 1000.0,
+                   static_cast<unsigned long long>(m.io.total_ops()),
+                   static_cast<unsigned long long>(m.net.wire_bytes),
+                   static_cast<unsigned long long>(
+                       m.has_comm ? m.comm.bytes : 0));
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+}
+
+void write_metrics_json(const std::string& path, const MetricsRegistry& m,
+                        std::uint32_t num_disks, std::size_t block_bytes) {
+  FileCloser fc{open_or_throw(path)};
+  write_metrics_json(fc.f, m, num_disks, block_bytes);
+}
+
+void write_metrics_json(std::FILE* f, const MetricsRegistry& m,
+                        std::uint32_t num_disks, std::size_t block_bytes) {
+  const pdm::DiskCostModel model;
+  std::fprintf(f,
+               "{\"schema\":\"%s\",\"num_disks\":%u,\"block_bytes\":%zu,\n"
+               " \"model\":{\"avg_seek_ms\":%.4f,\"avg_rotational_ms\":%.4f,"
+               "\"bandwidth_mb_s\":%.4f,\"op_seconds\":%.9f},\n"
+               " \"supersteps\":[",
+               kMetricsSchema, num_disks, block_bytes, model.avg_seek_ms,
+               model.avg_rotational_ms, model.bandwidth_mb_s,
+               model.op_seconds(block_bytes));
+  for (std::size_t i = 0; i < m.steps().size(); ++i) {
+    const auto& s = m.steps()[i];
+    std::fprintf(f, "%s\n  {\"step\":%llu,\"round\":%llu,\"phase\":\"%s\","
+                    "\"wall_s\":%.9f,\"predicted_io_s\":%.9f,\"counters\":{",
+                 i == 0 ? "" : ",",
+                 static_cast<unsigned long long>(s.step),
+                 static_cast<unsigned long long>(s.round), s.phase, s.wall_s,
+                 s.model_io_s);
+    const auto counters = MetricsRegistry::labeled(s);
+    for (std::size_t c = 0; c < counters.size(); ++c) {
+      std::fprintf(f, "%s\"%s\":%llu", c == 0 ? "" : ",", counters[c].first,
+                   static_cast<unsigned long long>(counters[c].second));
+    }
+    std::fprintf(f, "}}");
+  }
+  const pdm::IoStats total = m.total_io();
+  std::fprintf(f,
+               "\n ],\n \"totals\":{\"io_ops\":%llu,\"blocks\":%llu,"
+               "\"predicted_io_s\":%.9f}}\n",
+               static_cast<unsigned long long>(total.total_ops()),
+               static_cast<unsigned long long>(total.total_blocks()),
+               model.io_seconds(total, block_bytes));
+}
+
+}  // namespace emcgm::obs

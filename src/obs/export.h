@@ -1,0 +1,44 @@
+// Exporters for the observability subsystem.
+//
+//  * write_chrome_trace: Chrome trace-event JSON (the "JSON Array Format"
+//    with a traceEvents envelope) — loadable in Perfetto (ui.perfetto.dev)
+//    or chrome://tracing. Hosts render as processes, store groups as
+//    threads; spans become complete ("X") events; per-superstep metrics
+//    become counter ("C") tracks so I/O ops and wire bytes can be read off
+//    the same timeline as the phase spans.
+//  * write_metrics_json: machine-readable per-superstep counters with the
+//    predicted-vs-measured PDM cost columns, consumed by bench_util's
+//    --trace flag and by CI's trace validator.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace emcgm::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// Schema tag embedded in the metrics JSON (bump on breaking changes).
+inline constexpr const char* kMetricsSchema = "emcgm-metrics/1";
+
+/// Write the full trace as Chrome trace-event JSON. `metrics` may be null;
+/// when present its rows are emitted as counter tracks on the engine
+/// process. Throws util Error when the file cannot be written.
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const MetricsRegistry* metrics);
+void write_chrome_trace(std::FILE* f, const Tracer& tracer,
+                        const MetricsRegistry* metrics);
+
+/// Write per-superstep metrics JSON. `num_disks`/`block_bytes` describe the
+/// machine so consumers can reconstruct PDM units without the config.
+void write_metrics_json(const std::string& path, const MetricsRegistry& m,
+                        std::uint32_t num_disks, std::size_t block_bytes);
+void write_metrics_json(std::FILE* f, const MetricsRegistry& m,
+                        std::uint32_t num_disks, std::size_t block_bytes);
+
+/// The metrics sibling of a Chrome trace path: "<stem>.metrics.json" (a
+/// trailing ".json" on `trace_path` is treated as the stem's extension).
+std::string metrics_path_for(const std::string& trace_path);
+
+}  // namespace emcgm::obs

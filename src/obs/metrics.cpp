@@ -1,0 +1,40 @@
+#include "obs/metrics.h"
+
+namespace emcgm::obs {
+
+std::vector<std::pair<const char*, std::uint64_t>> MetricsRegistry::labeled(
+    const SuperstepMetrics& m) {
+  std::vector<std::pair<const char*, std::uint64_t>> out;
+  out.reserve(24);
+  out.emplace_back("io.read_ops", m.io.read_ops);
+  out.emplace_back("io.write_ops", m.io.write_ops);
+  out.emplace_back("io.blocks_read", m.io.blocks_read);
+  out.emplace_back("io.blocks_written", m.io.blocks_written);
+  out.emplace_back("io.full_stripe_ops", m.io.full_stripe_ops);
+  out.emplace_back("io.retries", m.io.retries);
+  out.emplace_back("io.corruptions", m.io.corruptions);
+  out.emplace_back("io.fsyncs", m.io.fsyncs);
+  if (m.has_comm) {
+    out.emplace_back("comm.messages", m.comm.messages);
+    out.emplace_back("comm.bytes", m.comm.bytes);
+    out.emplace_back("comm.h_bytes", m.comm.h_bytes());
+    out.emplace_back("comm.max_sent", m.comm.max_sent);
+    out.emplace_back("comm.max_recv", m.comm.max_recv);
+    out.emplace_back("comm.wire_bytes", m.comm.wire_bytes);
+    out.emplace_back("comm.retransmissions", m.comm.retransmissions);
+  }
+  out.emplace_back("net.data_sent", m.net.data_sent);
+  out.emplace_back("net.retransmissions", m.net.retransmissions);
+  out.emplace_back("net.acks_sent", m.net.acks_sent);
+  out.emplace_back("net.wire_bytes", m.net.wire_bytes);
+  out.emplace_back("net.dropped", m.net.dropped);
+  out.emplace_back("net.duplicated", m.net.duplicated);
+  out.emplace_back("net.corrupted", m.net.corrupted);
+  out.emplace_back("net.delivered_messages", m.net.delivered_messages);
+  out.emplace_back("net.delivered_payload_bytes",
+                   m.net.delivered_payload_bytes);
+  out.emplace_back("net.heartbeats_sent", m.net.heartbeats_sent);
+  return out;
+}
+
+}  // namespace emcgm::obs

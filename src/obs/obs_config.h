@@ -1,0 +1,19 @@
+// Observability toggle carried by cgm::MachineConfig. Kept dependency-free
+// so config.h stays light; the subsystem itself lives in obs/trace.h,
+// obs/metrics.h and obs/export.h.
+#pragma once
+
+namespace emcgm::obs {
+
+struct ObsConfig {
+  /// Master switch for the observability subsystem: when true the engine
+  /// owns a Tracer (phase-scoped spans, per-host shards) and a
+  /// MetricsRegistry (per-physical-superstep counter snapshots with
+  /// predicted-vs-measured PDM cost). When false — the default — no tracer
+  /// or registry exists, every span site is a single null-pointer test, and
+  /// outputs plus every stat counter are bit-identical to a build without
+  /// the subsystem.
+  bool trace = false;
+};
+
+}  // namespace emcgm::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include "util/error.h"
+
+namespace emcgm::obs {
+
+const char* span_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSuperstep:
+      return "superstep";
+    case SpanKind::kGroupStep:
+      return "group_step";
+    case SpanKind::kContextRead:
+      return "context_read";
+    case SpanKind::kInboxRead:
+      return "inbox_read";
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kOutboxWrite:
+      return "outbox_write";
+    case SpanKind::kContextWrite:
+      return "context_write";
+    case SpanKind::kNetPost:
+      return "net_post";
+    case SpanKind::kNetCollect:
+      return "net_collect";
+    case SpanKind::kNetPair:
+      return "net_pair";
+    case SpanKind::kDeliver:
+      return "deliver";
+    case SpanKind::kCommit:
+      return "commit";
+    case SpanKind::kRecovery:
+      return "recovery";
+    case SpanKind::kHeartbeat:
+      return "heartbeat";
+    case SpanKind::kOutputCollect:
+      return "output_collect";
+  }
+  return "unknown";
+}
+
+const char* span_category(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSuperstep:
+    case SpanKind::kGroupStep:
+    case SpanKind::kOutputCollect:
+      return "engine";
+    case SpanKind::kContextRead:
+    case SpanKind::kInboxRead:
+    case SpanKind::kOutboxWrite:
+    case SpanKind::kContextWrite:
+      return "io";
+    case SpanKind::kCompute:
+    case SpanKind::kDeliver:
+      return "compute";
+    case SpanKind::kNetPost:
+    case SpanKind::kNetCollect:
+    case SpanKind::kNetPair:
+    case SpanKind::kHeartbeat:
+      return "net";
+    case SpanKind::kCommit:
+    case SpanKind::kRecovery:
+      return "ckpt";
+  }
+  return "engine";
+}
+
+std::size_t TraceShard::open(SpanKind kind, std::uint32_t host,
+                             std::uint32_t track, std::int64_t group,
+                             std::int64_t vproc, std::uint64_t step,
+                             std::uint64_t round, std::uint64_t now_ns,
+                             const pdm::IoStats* io_src) {
+  Span s;
+  s.kind = kind;
+  s.depth = static_cast<std::uint16_t>(open_.size());
+  s.host = host;
+  s.track = track;
+  s.group = group;
+  s.vproc = vproc;
+  s.step = step;
+  s.round = round;
+  s.start_ns = now_ns;
+  const std::size_t idx = spans_.size();
+  spans_.push_back(std::move(s));
+  open_.push_back(OpenRec{idx, io_src, io_src ? *io_src : pdm::IoStats{}});
+  return idx;
+}
+
+void TraceShard::close(std::size_t idx, std::uint64_t now_ns,
+                       std::uint64_t aux0, std::uint64_t aux1) {
+  EMCGM_ASSERT(!open_.empty() && open_.back().idx == idx);
+  const OpenRec rec = open_.back();
+  open_.pop_back();
+  Span& s = spans_[idx];
+  s.dur_ns = now_ns >= s.start_ns ? now_ns - s.start_ns : 0;
+  s.aux0 = aux0;
+  s.aux1 = aux1;
+  if (rec.io_src) s.io = *rec.io_src - rec.at_open;
+}
+
+Tracer::Tracer(std::uint32_t p)
+    : p_(p), shards_(p + 1), epoch_(std::chrono::steady_clock::now()) {
+  EMCGM_CHECK(p >= 1);
+}
+
+std::vector<Span> Tracer::merged() const {
+  std::vector<Span> out;
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh.spans().size();
+  out.reserve(total);
+  for (const auto& sh : shards_) {
+    out.insert(out.end(), sh.spans().begin(), sh.spans().end());
+  }
+  return out;
+}
+
+}  // namespace emcgm::obs

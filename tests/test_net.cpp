@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 
 #include "algo/sort.h"
 #include "emcgm/em_engine.h"
@@ -513,6 +514,70 @@ TEST(NetFailover, DiskCrashBetweenBoundariesIsAdopted) {
     }
   }
   EXPECT_GE(fired, 6u);
+}
+
+TEST(NetFailover, PerHostFileRootsKillSweep) {
+  // Multi-node file layout: each real processor's disks live under their
+  // own directory subtree (cfg.file_roots), emulating p machines with
+  // separate filesystems. The clean run must match the memory-backend
+  // reference bit-for-bit, and a reduced fail-over sweep across that layout
+  // must complete degraded with identical outputs — the survivor adopting
+  // the dead host's store group across a real filesystem boundary.
+  const auto keys = random_keys(424, 1500);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(net_cfg(8, 2));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+  const auto steps = ref.last_result().io_per_step.size();
+
+  const std::vector<std::string> roots = {"/tmp/emcgm_hostroot_0",
+                                          "/tmp/emcgm_hostroot_1"};
+  auto fresh_cfg = [&](bool threads) {
+    for (const auto& r : roots) std::filesystem::remove_all(r);
+    auto cfg = net_cfg(8, 2, threads);
+    cfg.backend = pdm::BackendKind::kFile;
+    cfg.file_roots = roots;
+    return cfg;
+  };
+
+  // Clean run on the per-host layout: identical outputs, and each host's
+  // subtree actually materialized on disk.
+  {
+    em::EmEngine e(fresh_cfg(false));
+    EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))));
+    for (const auto& r : roots) {
+      EXPECT_TRUE(std::filesystem::exists(r)) << r;
+    }
+  }
+
+  // Reduced kill sweep: victim 1 at early / middle / late / never steps,
+  // serial and threaded.
+  std::uint64_t fired = 0;
+  for (bool threads : {false, true}) {
+    for (std::uint64_t step : {std::uint64_t{1}, steps / 2, steps,
+                               steps + 1}) {
+      auto cfg = fresh_cfg(threads);
+      cfg.net.failover = true;
+      cfg.net.fault.fail_stop_proc = 1;
+      cfg.net.fault.fail_stop_at_step = step;
+      em::EmEngine e(cfg);
+      const auto got = e.run(prog, sort_inputs(8, keys));
+      EXPECT_TRUE(same_outputs(expected, got))
+          << "step=" << step << " threads=" << threads;
+      fired += e.last_result().failovers;
+    }
+  }
+  EXPECT_GE(fired, 4u);
+  for (const auto& r : roots) std::filesystem::remove_all(r);
+}
+
+TEST(NetFailover, FileRootsConfigValidation) {
+  auto cfg = net_cfg(8, 2);
+  cfg.file_roots = {"/tmp/a", "/tmp/b"};  // memory backend: rejected
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.backend = pdm::BackendKind::kFile;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.file_roots = {"/tmp/a"};  // must have exactly p entries
+  EXPECT_THROW(cfg.validate(), Error);
 }
 
 TEST(NetFailover, WithoutFailoverDeathIsFatal) {
