@@ -1,7 +1,19 @@
 // Figure 4: running time of EM-CGM sort with one and two (and more) disks
 // per processor — multiple disks reduce the I/O time proportionally
 // because every transfer is a fully parallel D-block operation.
+//
+// Three tables:
+//   1. the paper's modeled sweep (ops x analytic per-op service time);
+//   2. a measured serial-vs-async comparison on a file-backed DiskArray
+//      whose backend charges the modeled per-block service time as a real
+//      sleep — the async executor overlaps the D per-disk latencies of one
+//      parallel op, so wall-clock speedup approaches D even on one core;
+//   3. the full EM-CGM sort run with io_threads = 0 vs D.
+// Tables 2 and 3 are identity gates, not just measurements: the process
+// exits nonzero if the async executor changes a single parallel I/O count,
+// stat counter, or output byte relative to the serial path.
 #include <cstdio>
+#include <string>
 
 #include "algo/sort.h"
 #include "bench/bench_util.h"
@@ -12,6 +24,7 @@ using namespace emcgm;
 using namespace emcgm::bench;
 
 int main(int argc, char** argv) {
+  const std::string json_path = json_arg(argc, argv);
   const TraceOption trace = trace_arg(argc, argv);
   std::printf(
       "Fig. 4 reproduction: EM-CGM sort, disk-count sweep\n"
@@ -24,26 +37,122 @@ int main(int argc, char** argv) {
   auto keys = random_keys(7, n);
   pdm::DiskCostModel cost;
 
+  // Sweep D once; every run feeds both the modeled table and the
+  // serial-vs-async engine table (the serial run is shared).
   Table t({"D (disks)", "parallel I/Os", "blocks moved", "parallel eff.",
            "modeled I/O time (s)", "speedup vs D=1"});
+  Table et({"D (disks)", "parallel I/Os", "serial wall (s)", "async wall (s)",
+            "async speedup"});
   double base_time = 0;
   for (std::uint32_t D : {1u, 2u, 4u, 8u}) {
     auto cfg = standard_config(v, 1, D, B);
-    const bool traced = D == 4;  // representative multi-disk point
-    if (traced) trace.arm(cfg);
     cgm::Machine em(cgm::EngineKind::kEm, cfg);
-    algo::sort_keys(em, keys);
-    if (traced) trace.write(em.engine());
+    Timer ts;
+    auto sorted_serial = algo::sort_keys(em, keys);
+    const double wall_serial = ts.elapsed_s();
     const auto& io = em.total().io;
     const double io_s = cost.io_seconds(io, B);
     if (D == 1) base_time = io_s;
     t.row({fmt_u(D), fmt_u(io.total_ops()), fmt_u(io.total_blocks()),
            fmt(io.parallel_efficiency(D), 3), fmt(io_s, 3),
            fmt(base_time / io_s, 2)});
+
+    // Same machine with the async executor on: io_threads = D worker
+    // threads, superstep prefetch + write-behind in the engine. The traced
+    // point (D=4) exports io_prefetch/io_drain spans and the io_queue_depth
+    // counter for tools/validate_trace.py.
+    auto acfg = standard_config(v, 1, D, B);
+    acfg.io_threads = D;
+    const bool traced = D == 4;
+    if (traced) trace.arm(acfg);
+    cgm::Machine ema(cgm::EngineKind::kEm, acfg);
+    Timer ta;
+    auto sorted_async = algo::sort_keys(ema, keys);
+    const double wall_async = ta.elapsed_s();
+    if (traced) trace.write(ema.engine());
+    const auto& aio = ema.total().io;
+    if (sorted_async != sorted_serial || aio.total_ops() != io.total_ops() ||
+        aio.total_blocks() != io.total_blocks()) {
+      std::fprintf(stderr,
+                   "FAIL: async engine diverged at D=%u (ops %llu vs %llu,"
+                   " blocks %llu vs %llu, outputs %s)\n",
+                   D, static_cast<unsigned long long>(aio.total_ops()),
+                   static_cast<unsigned long long>(io.total_ops()),
+                   static_cast<unsigned long long>(aio.total_blocks()),
+                   static_cast<unsigned long long>(io.total_blocks()),
+                   sorted_async == sorted_serial ? "equal" : "DIFFER");
+      return 1;
+    }
+    et.row({fmt_u(D), fmt_u(aio.total_ops()), fmt(wall_serial, 4),
+            fmt(wall_async, 4), fmt(wall_serial / wall_async, 2) + "x"});
   }
   t.print();
   std::printf(
       "\nExpected shape (paper Fig. 4): I/O time scales ~1/D — the"
       " simulation keeps all D disks busy (parallel efficiency near 1).\n");
+
+  // Measured latency overlap: a file-backed DiskArray whose backend sleeps
+  // the modeled per-block service time (scaled 1/64 to keep the bench
+  // fast). The serial path pays D sleeps per parallel op back-to-back; the
+  // async executor's per-disk workers pay them concurrently — this is the
+  // wall-clock realization of the PDM's "one op moves D blocks at unit
+  // cost", and it needs no extra CPU cores because the overlap is latency,
+  // not computation.
+  const double kTimeScale = 64.0;
+  const std::uint64_t kTracks = 48;
+  std::printf(
+      "\nMeasured on a file-backed array with modeled per-block service"
+      " time\n(%.0f us per %zu-byte block = 1990s-era service time / %.0f;"
+      " %llu full-stripe\nwrites + %llu full-stripe reads):\n\n",
+      cost.op_seconds(B) / kTimeScale * 1e6, B, kTimeScale,
+      static_cast<unsigned long long>(kTracks),
+      static_cast<unsigned long long>(kTracks));
+  Table od({"D (disks)", "parallel I/Os", "serial wall (s)", "async wall (s)",
+            "async speedup", "ideal"});
+  for (std::uint32_t D : {1u, 2u, 4u, 8u}) {
+    const std::string dir =
+        "/tmp/emcgm_bench_fig4/D" + std::to_string(D);
+    const OverlapRun serial = overlap_workload(
+        D, B, 0, pdm::BackendKind::kFile, dir + "_serial", cost, kTimeScale,
+        kTracks);
+    const OverlapRun async_run = overlap_workload(
+        D, B, D, pdm::BackendKind::kFile, dir + "_async", cost, kTimeScale,
+        kTracks);
+    if (!serial.data_ok || !async_run.data_ok ||
+        !(serial.stats == async_run.stats)) {
+      std::fprintf(stderr,
+                   "FAIL: async executor diverged at D=%u (parallel I/Os"
+                   " %llu vs %llu, data %s/%s)\n",
+                   D,
+                   static_cast<unsigned long long>(serial.stats.total_ops()),
+                   static_cast<unsigned long long>(
+                       async_run.stats.total_ops()),
+                   serial.data_ok ? "ok" : "BAD",
+                   async_run.data_ok ? "ok" : "BAD");
+      return 1;
+    }
+    od.row({fmt_u(D), fmt_u(serial.stats.total_ops()), fmt(serial.wall, 4),
+            fmt(async_run.wall, 4),
+            fmt(serial.wall / async_run.wall, 2) + "x",
+            fmt_u(D) + "x"});
+  }
+  od.print();
+  std::printf(
+      "\nExpected shape: async speedup tracks D (the executor overlaps the"
+      " D per-disk\nservice times of each op); parallel I/O counts and"
+      " IoStats are bit-identical\nbetween modes — enforced, nonzero exit"
+      " on any divergence.\n");
+
+  std::printf(
+      "\nEnd-to-end EM-CGM sort, serial vs async executor (io_threads = D,"
+      " with\nsuperstep prefetch + write-behind). In-memory backend: the"
+      " wall columns show\nthe executor's bookkeeping overhead is small;"
+      " real overlap needs device\nlatency (table above) or spare cores."
+      " Outputs and I/O counts must match.\n\n");
+  et.print();
+
+  write_json_report(json_path, {{"fig4_modeled_sweep", t},
+                                {"fig4_device_overlap", od},
+                                {"fig4_engine_async", et}});
   return 0;
 }

@@ -34,6 +34,15 @@ struct MachineConfig {
   /// Per-real-processor disk subsystem (the paper's D and B).
   pdm::DiskGeometry disk{};
 
+  /// Async I/O worker threads per real processor's disk array
+  /// (DiskArrayOptions.io_threads): 0 = the serial path, pdm::kIoThreadsAuto
+  /// = min(D, hardware concurrency). With workers the engine also prefetches
+  /// the next virtual processor's context and inbox during compute and
+  /// drains write-behind at the superstep barrier. Outputs, IoStats,
+  /// StepComm/NetStats and injected fault sequences are bit-identical across
+  /// all values (DESIGN.md §12).
+  std::uint32_t io_threads = 0;
+
   /// Local memory per real processor in bytes (the paper's M); 0 disables
   /// the residency check. The EM engine verifies context + inbox + outbox of
   /// the virtual processor being simulated fit in M.

@@ -9,8 +9,34 @@ ContextStore::ContextStore(pdm::DiskArray& array, pdm::TrackSpace& space,
     : array_(array),
       nlocal_(nlocal),
       regions_{Region(space, nlocal, array.num_disks()),
-               Region(space, nlocal, array.num_disks())} {
+               Region(space, nlocal, array.num_disks())},
+      prefetched_(nlocal) {
   EMCGM_CHECK(nlocal_ >= 1);
+}
+
+void ContextStore::prefetch(std::uint32_t local) {
+  EMCGM_CHECK(local < nlocal_);
+  if (prefetched_[local].has_value()) return;
+  Region& r = regions_[active_];
+  EMCGM_CHECK_MSG(r.extents[local].has_value(),
+                  "context " << local << " was never written");
+  const pdm::Extent& e = *r.extents[local];
+  Prefetched p;
+  p.buf.resize(e.blocks(array_.block_bytes()) * array_.block_bytes());
+  p.ticket = read_striped_async(array_, r.tracks, e, p.buf);
+  prefetched_[local] = std::move(p);
+}
+
+void ContextStore::drop_prefetches() {
+  for (auto& p : prefetched_) {
+    if (p.has_value()) {
+      // The pending read targets p->buf: wait before freeing it. A stale
+      // prefetch here is an engine bug (reads consume them every superstep),
+      // but recovery paths (load) may discard legitimately.
+      array_.wait(p->ticket);
+      p.reset();
+    }
+  }
 }
 
 void ContextStore::write(std::uint32_t local,
@@ -30,6 +56,13 @@ std::vector<std::byte> ContextStore::read(std::uint32_t local) {
   EMCGM_CHECK_MSG(r.extents[local].has_value(),
                   "context " << local << " was never written");
   const pdm::Extent& e = *r.extents[local];
+  if (prefetched_[local].has_value()) {
+    Prefetched p = std::move(*prefetched_[local]);
+    prefetched_[local].reset();
+    array_.wait(p.ticket);
+    p.buf.resize(e.bytes);  // trim the whole-block padding
+    return std::move(p.buf);
+  }
   std::vector<std::byte> out(e.bytes);
   read_striped(array_, r.tracks, e, out);
   return out;
@@ -42,6 +75,7 @@ std::size_t ContextStore::context_bytes(std::uint32_t local) const {
 }
 
 void ContextStore::flip() {
+  drop_prefetches();
   Region& w = regions_[1 - active_];
   for (std::uint32_t j = 0; j < nlocal_; ++j) {
     EMCGM_CHECK_MSG(w.extents[j].has_value(),
@@ -99,6 +133,7 @@ void ContextStore::save(WriteArchive& ar) const {
 }
 
 void ContextStore::load(ReadArchive& ar) {
+  drop_prefetches();
   active_ = ar.get<std::uint8_t>();
   EMCGM_CHECK(active_ == 0 || active_ == 1);
   epoch_ = ar.get<std::uint64_t>();

@@ -35,6 +35,13 @@ class ContextStore {
   /// Read local virtual processor `local`'s context from the active region.
   std::vector<std::byte> read(std::uint32_t local);
 
+  /// Start an async read of `local`'s context (double-buffered prefetch:
+  /// issued while the previous virtual processor computes). Correct while
+  /// the current superstep's writes are in flight because those target the
+  /// *inactive* region — disjoint extents. Serial arrays execute the read
+  /// immediately; read(local) then just hands the buffer over. Idempotent.
+  void prefetch(std::uint32_t local);
+
   /// Size of the context that read(local) would return, without I/O.
   std::size_t context_bytes(std::uint32_t local) const;
 
@@ -68,11 +75,20 @@ class ContextStore {
         : tracks(space), cursor(num_disks), extents(nlocal) {}
   };
 
+  /// An in-flight prefetch: whole-block buffer + completion ticket.
+  struct Prefetched {
+    pdm::IoTicket ticket = 0;
+    std::vector<std::byte> buf;
+  };
+
+  void drop_prefetches();
+
   pdm::DiskArray& array_;
   std::uint32_t nlocal_;
   Region regions_[2];
   int active_ = 0;  ///< readable region; 1 - active_ is being written
   std::uint64_t epoch_ = 0;
+  std::vector<std::optional<Prefetched>> prefetched_;  ///< per local vproc
 };
 
 }  // namespace emcgm::em

@@ -110,7 +110,8 @@ struct EmEngine::RealProc {
   };
   std::optional<CkptSlot> ckpt[2];
 
-  RealProc(const cgm::MachineConfig& cfg, std::uint32_t index) {
+  RealProc(const cgm::MachineConfig& cfg, std::uint32_t index,
+           obs::Tracer* tracer) {
     std::string dir;
     if (cfg.backend == pdm::BackendKind::kFile) {
       // Multi-node layout: each real processor's disks under its own root
@@ -122,6 +123,12 @@ struct EmEngine::RealProc {
     pdm::DiskArrayOptions opts;
     opts.checksums = cfg.checksums;
     opts.retry = cfg.retry;
+    opts.io_threads = cfg.io_threads;
+    if (tracer) {
+      opts.on_queue_depth = [tracer, index](std::size_t depth) {
+        tracer->record_queue_depth(index, depth);
+      };
+    }
     const pdm::FaultPlan& plan = cfg.fault_per_proc.empty()
                                      ? cfg.fault
                                      : cfg.fault_per_proc[index];
@@ -137,17 +144,18 @@ EmEngine::EmEngine(cgm::MachineConfig cfg) : cfg_(std::move(cfg)) {
     EMCGM_CHECK_MSG(cfg_.layout == cgm::MsgLayout::kStaggeredMatrix,
                     "single_copy_matrix requires the staggered layout");
   }
-  procs_.reserve(cfg_.p);
-  for (std::uint32_t r = 0; r < cfg_.p; ++r) {
-    procs_.push_back(std::make_unique<RealProc>(cfg_, r));
-  }
-  group_host_.resize(cfg_.p);
-  std::iota(group_host_.begin(), group_host_.end(), 0u);
-  alive_.assign(cfg_.p, 1);
+  // Tracer first: RealProc disk arrays may carry a queue-depth probe into it.
   if (cfg_.obs.trace) {
     tracer_ = std::make_unique<obs::Tracer>(cfg_.p);
     metrics_ = std::make_unique<obs::MetricsRegistry>();
   }
+  procs_.reserve(cfg_.p);
+  for (std::uint32_t r = 0; r < cfg_.p; ++r) {
+    procs_.push_back(std::make_unique<RealProc>(cfg_, r, tracer_.get()));
+  }
+  group_host_.resize(cfg_.p);
+  std::iota(group_host_.begin(), group_host_.end(), 0u);
+  alive_.assign(cfg_.p, 1);
 }
 
 EmEngine::~EmEngine() = default;
@@ -248,6 +256,17 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
 
 void EmEngine::restore_from_commit() {
   EMCGM_CHECK_MSG(commit_.valid, "no committed checkpoint to resume from");
+  // Quiesce every async executor before touching the disks: the aborted
+  // superstep may have left write-behind errors pending, and they belong to
+  // the timeline the replay is about to discard — they must not resurface
+  // out of the restore's own reads.
+  for (auto& rp : procs_) {
+    try {
+      rp->disks->drain();
+    } catch (const IoError&) {
+      // casualty of the aborted superstep
+    }
+  }
   const int slot = static_cast<int>(commit_.seq % 2);
   obs::Tracer* tr = tracer_.get();
   for (std::uint32_t g = 0; g < cfg_.p; ++g) {
@@ -593,6 +612,20 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
           }
         }
         const std::size_t inbox_msgs = inbox.size();
+        // Overlap: submit the *next* virtual processor's context and inbox
+        // reads now, so the executor services them while this one computes.
+        // Safe against this superstep's in-flight writes — context writes
+        // target the inactive region, and in Observation-2 single-copy mode
+        // vproc j's outgoing slots reuse exactly the band-j blocks its own
+        // inbox freed, never band j+1 (per-disk FIFO covers any same-disk
+        // pair regardless). Serial arrays skip this: the prefetch would
+        // just execute the reads early, changing nothing but span shapes.
+        if (rp.disks->async() && jl + 1 < nloc) {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kIoPrefetch, host, r,
+                              r, g + 1, phys_step_, round, io_src);
+          rp.contexts->prefetch(jl + 1);
+          rp.messages->prefetch_incoming(g + 1);
+        }
         // (c) compute.
         cgm::ProcCtx pctx(g, v, cfg_.seed);
         std::vector<cgm::Message> physical;
@@ -648,6 +681,15 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         }
         rp.contexts->write(jl, new_blob);
       }
+      if (rp.disks->async()) {
+        // Write-behind completion barrier, inside the try: a crash or fault
+        // that fired on a deferred write surfaces here and is collected
+        // exactly like a synchronous one, and the superstep's IoStats are
+        // fully reaped before the barrier records them.
+        obs::SpanScope span(tr, shard, obs::SpanKind::kIoDrain, host, r, r,
+                            -1, phys_step_, round, io_src);
+        rp.disks->drain();
+      }
     } catch (...) {
       out.error = std::current_exception();
     }
@@ -672,6 +714,14 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
                               r, g, phys_step_, round, io_src);
           inbox = rp.messages->read_incoming(g);
         }
+        // Overlap the next inbox fetch with this regrouping pass (same
+        // safety argument as in the compute phase; regrouping touches no
+        // contexts, so only the message store is prefetched).
+        if (rp.disks->async() && jl + 1 < nloc) {
+          obs::SpanScope span(tr, shard, obs::SpanKind::kIoPrefetch, host, r,
+                              r, g + 1, phys_step_, round, io_src);
+          rp.messages->prefetch_incoming(g + 1);
+        }
         obs::SpanScope span(tr, shard, obs::SpanKind::kOutboxWrite, host, r,
                             r, g, phys_step_, round, io_src);
         auto physical = routing::transform_intermediate(v, g, inbox);
@@ -687,6 +737,11 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
             out.by_owner[owner_of(m.dst)].push_back(std::move(m));
           }
         }
+      }
+      if (rp.disks->async()) {
+        obs::SpanScope span(tr, shard, obs::SpanKind::kIoDrain, host, r, r,
+                            -1, phys_step_, round, io_src);
+        rp.disks->drain();
       }
     } catch (...) {
       out.error = std::current_exception();
@@ -937,6 +992,30 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
     result.comm_steps += 1;
   };
 
+  // Async barrier companion to deliver_staged: the arrival writes above are
+  // write-behind, so their completion (and any crash they suffered) is
+  // collected here, before the stores flip and the superstep's I/O is
+  // recorded. Serial arrays make this a no-op.
+  auto drain_arrival_writes = [&] {
+    std::vector<std::uint32_t> crashed;
+    std::exception_ptr cause;
+    for (std::uint32_t g = 0; g < p; ++g) {
+      auto& rp = *procs_[g];
+      if (!rp.disks->async()) continue;
+      try {
+        rp.disks->drain();
+      } catch (const IoError& e) {
+        if (e.kind() != IoErrorKind::kCrash) throw;
+        crashed.push_back(g);
+        if (!cause) cause = std::current_exception();
+      }
+    }
+    if (!crashed.empty()) {
+      if (cfg_.net.failover) throw DeadProcsError{std::move(crashed), cause};
+      std::rethrow_exception(cause);
+    }
+  };
+
   const net::NetStats net_before = net_ ? net_->stats() : net::NetStats{};
 
   while (!all_done) {
@@ -1001,6 +1080,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         }
 
         deliver_staged(outcomes);
+        drain_arrival_writes();
         for (auto& rp : procs_) rp->messages->flip();
         const std::uint64_t ran_round = round;
         if (balanced) {
@@ -1016,6 +1096,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
           regroup_real_proc(r, o);
         });
         deliver_staged(regroup);
+        drain_arrival_writes();
         for (auto& rp : procs_) rp->messages->flip();
         const std::uint64_t ran_round = round;
         phase = Phase::kCompute;

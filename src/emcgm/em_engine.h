@@ -127,6 +127,14 @@ class EmEngine final : public cgm::Engine {
                 std::exception_ptr cause, cgm::RunResult& result);
 
   cgm::MachineConfig cfg_;
+
+  // Observability (cfg_.obs.trace; both null when off — every
+  // instrumentation site below is then a single pointer test). Declared
+  // before procs_: each RealProc's disk array may hold a queue-depth probe
+  // into the tracer, so the tracer must outlive the arrays.
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+
   std::vector<std::unique_ptr<RealProc>> procs_;
   Commit commit_;
   std::string running_program_;  ///< name sanity check for resume()
@@ -139,11 +147,6 @@ class EmEngine final : public cgm::Engine {
   std::vector<std::uint32_t> group_host_;
   std::vector<char> alive_;
   std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock
-
-  // Observability (cfg_.obs.trace; both null when off — every
-  // instrumentation site below is then a single pointer test).
-  std::unique_ptr<obs::Tracer> tracer_;
-  std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   cgm::RunResult last_;
   cgm::RunResult total_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "util/error.h"
 #include "util/math.h"
@@ -24,7 +25,8 @@ class StaggeredMatrixStore final : public MessageStore {
                      static_cast<std::size_t>(cfg.v) * cfg.nlocal, 0),
                  std::vector<std::uint64_t>(
                      static_cast<std::size_t>(cfg.v) * cfg.nlocal, 0)},
-        freed_(static_cast<std::size_t>(cfg.v) * cfg.nlocal, true) {
+        freed_(static_cast<std::size_t>(cfg.v) * cfg.nlocal, true),
+        prefetched_(cfg.nlocal) {
     EMCGM_CHECK_MSG(cfg_.slot_bytes >= 1,
                     "staggered layout needs a positive slot capacity");
     EMCGM_CHECK(slot_blocks_ >= 1);
@@ -85,28 +87,41 @@ class StaggeredMatrixStore final : public MessageStore {
   std::vector<cgm::Message> read_incoming(std::uint32_t dst_global) override {
     check_local(dst_global);
     const std::uint32_t dloc = dst_global - cfg_.local_base;
+    if (!prefetched_[dloc].has_value()) prefetch_incoming(dst_global);
+    PrefetchedInbox pf = std::move(*prefetched_[dloc]);
+    prefetched_[dloc].reset();
+    array_.wait(pf.ticket);
+
+    std::vector<cgm::Message> out;
+    out.reserve(pf.pending.size());
+    for (auto& p : pf.pending) {
+      p.buf.resize(static_cast<std::size_t>(p.bytes));
+      out.push_back(cgm::Message{p.src, dst_global, std::move(p.buf)});
+    }
+    return out;  // collected in ascending source order already
+  }
+
+  void prefetch_incoming(std::uint32_t dst_global) override {
+    check_local(dst_global);
+    const std::uint32_t dloc = dst_global - cfg_.local_base;
+    if (prefetched_[dloc].has_value()) return;
     const std::size_t B = array_.block_bytes();
     const int parity = read_parity();
 
-    struct Pending {
-      std::uint32_t src;
-      std::uint64_t bytes;
-      std::vector<std::byte> buf;  // rounded up to whole blocks
-    };
-    std::vector<Pending> pending;
+    PrefetchedInbox pf;
     std::vector<pdm::ReadSlot> slots;
     for (std::uint32_t s = 0; s < cfg_.v; ++s) {
       auto& len = lengths_[reading_side()][lin(s, dloc)];
       if (len == 0) continue;
-      Pending p;
+      PendingMsg p;
       p.src = s;
       p.bytes = len;
       p.buf.resize(ceil_div(len, B) * B);
-      pending.push_back(std::move(p));
+      pf.pending.push_back(std::move(p));
       len = 0;
       if (cfg_.single_copy) freed_[phys_slot(parity, s, dloc)] = true;
     }
-    for (auto& p : pending) {
+    for (auto& p : pf.pending) {
       const std::uint64_t used = p.buf.size() / B;
       for (std::uint64_t q = 0; q < used; ++q) {
         slots.push_back(pdm::ReadSlot{
@@ -114,18 +129,14 @@ class StaggeredMatrixStore final : public MessageStore {
             std::span<std::byte>(p.buf.data() + q * B, B)});
       }
     }
-    if (!slots.empty()) pdm::greedy_read(array_, slots);
-
-    std::vector<cgm::Message> out;
-    out.reserve(pending.size());
-    for (auto& p : pending) {
-      p.buf.resize(static_cast<std::size_t>(p.bytes));
-      out.push_back(cgm::Message{p.src, dst_global, std::move(p.buf)});
-    }
-    return out;
+    if (!slots.empty()) pf.ticket = pdm::greedy_read_async(array_, slots);
+    prefetched_[dloc] = std::move(pf);
   }
 
-  void flip() override { ++step_; }
+  void flip() override {
+    drop_prefetches();
+    ++step_;
+  }
 
   void save(WriteArchive& ar) const override {
     ar.put<std::uint64_t>(step_);
@@ -136,6 +147,7 @@ class StaggeredMatrixStore final : public MessageStore {
   }
 
   void load(ReadArchive& ar) override {
+    drop_prefetches();
     step_ = ar.get<std::uint64_t>();
     lengths_[0] = ar.get_vec<std::uint64_t>();
     lengths_[1] = ar.get_vec<std::uint64_t>();
@@ -150,6 +162,26 @@ class StaggeredMatrixStore final : public MessageStore {
   }
 
  private:
+  /// One source's message being fetched: buffer rounded to whole blocks.
+  struct PendingMsg {
+    std::uint32_t src = 0;
+    std::uint64_t bytes = 0;
+    std::vector<std::byte> buf;
+  };
+  struct PrefetchedInbox {
+    std::vector<PendingMsg> pending;
+    pdm::IoTicket ticket = 0;
+  };
+
+  void drop_prefetches() {
+    for (auto& pf : prefetched_) {
+      if (pf.has_value()) {
+        array_.wait(pf->ticket);  // reads target pf->pending buffers
+        pf.reset();
+      }
+    }
+  }
+
   std::size_t lin(std::uint32_t src, std::uint32_t dloc) const {
     return static_cast<std::size_t>(src) * cfg_.nlocal + dloc;
   }
@@ -212,6 +244,7 @@ class StaggeredMatrixStore final : public MessageStore {
   std::vector<std::uint64_t> lengths_[2];  // [side][src * nlocal + dloc]
   std::vector<bool> freed_;                // single-copy live-slot tracking
   std::uint64_t step_ = 0;
+  std::vector<std::optional<PrefetchedInbox>> prefetched_;  // per local dst
 };
 
 // --------------------------------------------------------------- Chained --
@@ -223,7 +256,8 @@ class ChainedStore final : public MessageStore {
       : array_(array),
         cfg_(cfg),
         sides_{Side(space, array.num_disks(), cfg.nlocal),
-               Side(space, array.num_disks(), cfg.nlocal)} {}
+               Side(space, array.num_disks(), cfg.nlocal)},
+        prefetched_(cfg.nlocal) {}
 
   void write_messages(std::span<const cgm::Message> msgs) override {
     Side& w = sides_[1 - active_];
@@ -260,40 +294,15 @@ class ChainedStore final : public MessageStore {
 
   std::vector<cgm::Message> read_incoming(std::uint32_t dst_global) override {
     check_local(dst_global);
-    Side& r = sides_[active_];
-    auto& entries = r.by_dst[dst_global - cfg_.local_base];
-    const std::size_t B = array_.block_bytes();
-
-    struct Pending {
-      std::uint32_t src;
-      std::uint64_t bytes;
-      std::vector<std::byte> buf;
-    };
-    std::vector<Pending> pending;
-    std::vector<pdm::ReadSlot> slots;
-    for (const auto& en : entries) {
-      Pending p;
-      p.src = en.src;
-      p.bytes = en.ext.bytes;
-      p.buf.resize(en.ext.blocks(B) * B);
-      pending.push_back(std::move(p));
-    }
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      const pdm::Extent& e = entries[i].ext;
-      const std::uint64_t blocks = e.blocks(B);
-      for (std::uint64_t q = 0; q < blocks; ++q) {
-        pdm::BlockAddr a = e.addr(array_.num_disks(), q);
-        a.track = r.tracks.physical_track(a.track);
-        slots.push_back(pdm::ReadSlot{
-            a, std::span<std::byte>(pending[i].buf.data() + q * B, B)});
-      }
-    }
-    if (!slots.empty()) pdm::greedy_read(array_, slots);
-    entries.clear();
+    const std::uint32_t dloc = dst_global - cfg_.local_base;
+    if (!prefetched_[dloc].has_value()) prefetch_incoming(dst_global);
+    PrefetchedInbox pf = std::move(*prefetched_[dloc]);
+    prefetched_[dloc].reset();
+    array_.wait(pf.ticket);
 
     std::vector<cgm::Message> out;
-    out.reserve(pending.size());
-    for (auto& p : pending) {
+    out.reserve(pf.pending.size());
+    for (auto& p : pf.pending) {
       p.buf.resize(static_cast<std::size_t>(p.bytes));
       out.push_back(cgm::Message{p.src, dst_global, std::move(p.buf)});
     }
@@ -304,7 +313,40 @@ class ChainedStore final : public MessageStore {
     return out;
   }
 
+  void prefetch_incoming(std::uint32_t dst_global) override {
+    check_local(dst_global);
+    const std::uint32_t dloc = dst_global - cfg_.local_base;
+    if (prefetched_[dloc].has_value()) return;
+    Side& r = sides_[active_];
+    auto& entries = r.by_dst[dloc];
+    const std::size_t B = array_.block_bytes();
+
+    PrefetchedInbox pf;
+    std::vector<pdm::ReadSlot> slots;
+    for (const auto& en : entries) {
+      PendingMsg p;
+      p.src = en.src;
+      p.bytes = en.ext.bytes;
+      p.buf.resize(en.ext.blocks(B) * B);
+      pf.pending.push_back(std::move(p));
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const pdm::Extent& e = entries[i].ext;
+      const std::uint64_t blocks = e.blocks(B);
+      for (std::uint64_t q = 0; q < blocks; ++q) {
+        pdm::BlockAddr a = e.addr(array_.num_disks(), q);
+        a.track = r.tracks.physical_track(a.track);
+        slots.push_back(pdm::ReadSlot{
+            a, std::span<std::byte>(pf.pending[i].buf.data() + q * B, B)});
+      }
+    }
+    if (!slots.empty()) pf.ticket = pdm::greedy_read_async(array_, slots);
+    entries.clear();
+    prefetched_[dloc] = std::move(pf);
+  }
+
   void flip() override {
+    drop_prefetches();
     active_ = 1 - active_;
     Side& w = sides_[1 - active_];
     w.cursor.reset();
@@ -329,6 +371,7 @@ class ChainedStore final : public MessageStore {
   }
 
   void load(ReadArchive& ar) override {
+    drop_prefetches();
     active_ = ar.get<std::uint8_t>();
     EMCGM_CHECK(active_ == 0 || active_ == 1);
     for (Side& s : sides_) {
@@ -365,6 +408,24 @@ class ChainedStore final : public MessageStore {
     Side(pdm::TrackSpace& space, std::uint32_t D, std::uint32_t nlocal)
         : tracks(space), cursor(D), by_dst(nlocal) {}
   };
+  struct PendingMsg {
+    std::uint32_t src = 0;
+    std::uint64_t bytes = 0;
+    std::vector<std::byte> buf;  // rounded up to whole blocks
+  };
+  struct PrefetchedInbox {
+    std::vector<PendingMsg> pending;
+    pdm::IoTicket ticket = 0;
+  };
+
+  void drop_prefetches() {
+    for (auto& pf : prefetched_) {
+      if (pf.has_value()) {
+        array_.wait(pf->ticket);  // reads target pf->pending buffers
+        pf.reset();
+      }
+    }
+  }
 
   void check_local(std::uint32_t dst) const {
     EMCGM_CHECK_MSG(dst >= cfg_.local_base &&
@@ -376,6 +437,7 @@ class ChainedStore final : public MessageStore {
   MessageStoreConfig cfg_;
   Side sides_[2];
   int active_ = 0;
+  std::vector<std::optional<PrefetchedInbox>> prefetched_;  // per local dst
 };
 
 }  // namespace

@@ -47,6 +47,18 @@ class MessageStore {
   /// the last flip(). Returns them sorted by source.
   virtual std::vector<cgm::Message> read_incoming(std::uint32_t dst_global) = 0;
 
+  /// Start fetching `dst_global`'s inbox asynchronously (double-buffered
+  /// prefetch: issued while the previous virtual processor computes); the
+  /// next read_incoming(dst_global) then only waits and assembles. Consumes
+  /// the directory entries exactly as read_incoming would, so each inbox is
+  /// still read once. Idempotent; flip()/load() discard unconsumed
+  /// prefetches after quiescing them. Safe against the current superstep's
+  /// in-flight writes: they target the other buffer — or, in Observation-2
+  /// single-copy mode, virtual processor j's outgoing slots occupy exactly
+  /// the band-j blocks its own inbox freed, never band j+1 (and per-disk
+  /// FIFO order protects any same-disk pair anyway).
+  virtual void prefetch_incoming(std::uint32_t dst_global) = 0;
+
   /// Superstep boundary: messages written since the previous flip become
   /// readable.
   virtual void flip() = 0;

@@ -200,6 +200,16 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                        m.has_comm ? m.comm.bytes : 0));
     }
   }
+
+  // Async executor queue-depth counter track, one per host running with
+  // io_threads > 0 (empty otherwise).
+  for (const auto& d : tracer.queue_depth_samples()) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"C\",\"name\":\"io_queue_depth\",\"pid\":%u,"
+                 "\"tid\":0,\"ts\":%.3f,\"args\":{\"depth\":%u}}",
+                 d.host, static_cast<double>(d.ns) / 1000.0, d.depth);
+  }
   std::fprintf(f, "\n]}\n");
 }
 

@@ -36,6 +36,10 @@ const char* span_name(SpanKind k) {
       return "heartbeat";
     case SpanKind::kOutputCollect:
       return "output_collect";
+    case SpanKind::kIoPrefetch:
+      return "io_prefetch";
+    case SpanKind::kIoDrain:
+      return "io_drain";
   }
   return "unknown";
 }
@@ -50,6 +54,8 @@ const char* span_category(SpanKind k) {
     case SpanKind::kInboxRead:
     case SpanKind::kOutboxWrite:
     case SpanKind::kContextWrite:
+    case SpanKind::kIoPrefetch:
+    case SpanKind::kIoDrain:
       return "io";
     case SpanKind::kCompute:
     case SpanKind::kDeliver:
@@ -102,6 +108,22 @@ void TraceShard::close(std::size_t idx, std::uint64_t now_ns,
 Tracer::Tracer(std::uint32_t p)
     : p_(p), shards_(p + 1), epoch_(std::chrono::steady_clock::now()) {
   EMCGM_CHECK(p >= 1);
+}
+
+void Tracer::record_queue_depth(std::uint32_t host, std::size_t depth) {
+  // Cap chosen so a full track is ~1.5 MB; plenty for the benchmark runs
+  // the counter is meant to visualize.
+  constexpr std::size_t kMaxDepthSamples = 1u << 17;
+  const std::uint64_t ns = now_ns();
+  std::lock_guard<std::mutex> lock(depth_mu_);
+  if (depth_samples_.size() >= kMaxDepthSamples) return;
+  depth_samples_.push_back(
+      DepthSample{ns, host, static_cast<std::uint32_t>(depth)});
+}
+
+std::vector<DepthSample> Tracer::queue_depth_samples() const {
+  std::lock_guard<std::mutex> lock(depth_mu_);
+  return depth_samples_;
 }
 
 std::vector<Span> Tracer::merged() const {

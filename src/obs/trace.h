@@ -24,7 +24,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "pdm/io_stats.h"
@@ -47,6 +49,8 @@ enum class SpanKind : std::uint8_t {
   kRecovery,       ///< replay restore from the last committed boundary
   kHeartbeat,      ///< failure-detector heartbeat exchange
   kOutputCollect,  ///< final context read-back into output slots
+  kIoPrefetch,     ///< async submission of the next vproc's context + inbox
+  kIoDrain,        ///< write-behind completion barrier at group end
 };
 
 /// Stable lowercase span name ("context_read", ...), used by the Chrome
@@ -56,6 +60,15 @@ const char* span_name(SpanKind k);
 /// Coarse category for trace viewers ("engine", "io", "compute", "net",
 /// "ckpt").
 const char* span_category(SpanKind k);
+
+/// One sample of an async I/O executor's in-flight block count, recorded
+/// through DiskArrayOptions.on_queue_depth. `host` is the real processor
+/// whose disks the executor serves.
+struct DepthSample {
+  std::uint64_t ns = 0;
+  std::uint32_t host = 0;
+  std::uint32_t depth = 0;
+};
 
 struct Span {
   SpanKind kind = SpanKind::kSuperstep;
@@ -135,10 +148,22 @@ class Tracer {
   /// deterministic for a fixed configuration and fault schedule.
   std::vector<Span> merged() const;
 
+  /// Record one io_queue_depth sample. Thread-safe: the executor invokes
+  /// the probe from submitter and worker threads. Samples beyond a fixed
+  /// cap are dropped — depth is a visualization aid, not an accounted
+  /// statistic, so a long run degrades to a truncated counter track rather
+  /// than unbounded memory.
+  void record_queue_depth(std::uint32_t host, std::size_t depth);
+
+  /// Snapshot of the recorded queue-depth samples, in record order.
+  std::vector<DepthSample> queue_depth_samples() const;
+
  private:
   std::uint32_t p_;
   std::vector<TraceShard> shards_;
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex depth_mu_;
+  std::vector<DepthSample> depth_samples_;
 };
 
 /// RAII span. A null tracer (observability disabled) makes construction and

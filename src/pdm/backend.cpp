@@ -102,9 +102,25 @@ FileBackend::FileBackend(const DiskGeometry& geom, std::string directory)
   paths_.reserve(geom.num_disks);
   for (std::uint32_t d = 0; d < geom.num_disks; ++d) {
     std::string path = dir_ + "/disk" + std::to_string(d) + ".bin";
-    const int fd =
-        ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0) raise_system("open", path);
+    int flags = O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC;
+    int fd = -1;
+#ifdef O_NOATIME
+    // Skip access-time bookkeeping: every block read would otherwise dirty
+    // the inode, which is pure overhead for a simulated disk. The flag is
+    // owner-only, so fall back without it on EPERM (e.g. files we do not
+    // own, or certain shared mounts).
+    fd = ::open(path.c_str(), flags | O_NOATIME, 0644);
+    if (fd < 0 && errno != EPERM) raise_system("open", path);
+#endif
+    if (fd < 0) {
+      fd = ::open(path.c_str(), flags, 0644);
+      if (fd < 0) raise_system("open", path);
+    }
+#ifdef POSIX_FADV_RANDOM
+    // The PDM access pattern is track-addressed, not sequential: disable
+    // kernel readahead so per-disk latencies reflect the requested blocks.
+    (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_RANDOM);
+#endif
     fds_.push_back(fd);
     paths_.push_back(std::move(path));
   }

@@ -1,9 +1,26 @@
 #include "pdm/disk_array.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 namespace emcgm::pdm {
+
+namespace {
+
+// io_threads resolution: 0 = serial, kIoThreadsAuto = hw_concurrency, both
+// clamped to the number of disks (more workers than disks cannot help — one
+// parallel op has at most one block per disk).
+std::uint32_t resolve_io_workers(std::uint32_t requested, std::uint32_t D) {
+  if (requested == 0) return 0;
+  if (requested == kIoThreadsAuto) {
+    requested = std::thread::hardware_concurrency();
+    if (requested == 0) requested = 1;
+  }
+  return std::min(requested, D);
+}
+
+}  // namespace
 
 DiskArray::DiskArray(std::unique_ptr<StorageBackend> backend,
                      DiskArrayOptions opts)
@@ -23,6 +40,36 @@ DiskArray::DiskArray(std::unique_ptr<StorageBackend> backend,
                                          << "-byte checksum envelope");
     geom_.block_bytes -= kEnvelopeBytes;  // expose the logical view
     scratch_.resize(backend_->geometry().block_bytes);
+  }
+  // Every backoff — serial or executor worker — goes through one resolved
+  // sleep function, so the injectable hook covers all schedules.
+  if (opts_.retry.sleep) {
+    sleep_fn_ = opts_.retry.sleep;
+  } else {
+    sleep_fn_ = [](std::uint64_t us) {
+      if (us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
+    };
+  }
+  injector_ = dynamic_cast<FaultInjectingBackend*>(backend_.get());
+  const std::uint32_t workers =
+      resolve_io_workers(opts_.io_threads, num_disks());
+  if (workers > 0) {
+    exec_ = std::make_unique<IoExecutor>(*backend_, workers, opts_.checksums,
+                                         opts_.retry, sleep_fn_,
+                                         opts_.on_queue_depth);
+  }
+}
+
+DiskArray::~DiskArray() {
+  if (exec_) {
+    // Quiesce: pending jobs reference buffers the owners are about to free.
+    try {
+      exec_->drain(stats_);
+    } catch (...) {
+      // A pending error has nowhere to go during teardown.
+    }
   }
 }
 
@@ -47,12 +94,7 @@ std::uint64_t occupancy_mask(std::span<const Slot> slots, std::uint32_t D) {
 }  // namespace
 
 void DiskArray::backoff(std::uint32_t retry) const {
-  const std::uint64_t us = opts_.retry.backoff_us(retry);
-  if (opts_.retry.sleep) {
-    opts_.retry.sleep(us);
-  } else if (us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(us));
-  }
+  sleep_fn_(opts_.retry.backoff_us(retry));
 }
 
 void DiskArray::read_one(const ReadSlot& s) {
@@ -105,7 +147,21 @@ void DiskArray::write_one(const WriteSlot& s) {
   }
 }
 
+void DiskArray::pre_submit() {
+  // With a fail-stop plan armed, the crash must land exactly between
+  // completed parallel ops, as it does serially: quiesce before counting
+  // the next op so no in-flight job observes the transition.
+  if (exec_ && injector_ && injector_->armed() &&
+      injector_->plan().crash_after_ops != 0) {
+    drain();
+  }
+}
+
 void DiskArray::parallel_read(std::span<const ReadSlot> slots) {
+  if (exec_) {
+    wait(parallel_read_async(slots));
+    return;
+  }
   EMCGM_CHECK_MSG(!slots.empty(), "empty parallel read");
   EMCGM_CHECK_MSG(slots.size() <= num_disks(),
                   "parallel read of " << slots.size() << " blocks on "
@@ -122,6 +178,10 @@ void DiskArray::parallel_read(std::span<const ReadSlot> slots) {
 }
 
 void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
+  if (exec_) {
+    (void)parallel_write_async(slots);  // write-behind
+    return;
+  }
   EMCGM_CHECK_MSG(!slots.empty(), "empty parallel write");
   EMCGM_CHECK_MSG(slots.size() <= num_disks(),
                   "parallel write of " << slots.size() << " blocks on "
@@ -137,7 +197,52 @@ void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
   if (slots.size() == num_disks()) stats_.full_stripe_ops += 1;
 }
 
+IoTicket DiskArray::parallel_read_async(std::span<const ReadSlot> slots) {
+  if (!exec_) {
+    parallel_read(slots);
+    return 0;
+  }
+  EMCGM_CHECK_MSG(!slots.empty(), "empty parallel read");
+  EMCGM_CHECK_MSG(slots.size() <= num_disks(),
+                  "parallel read of " << slots.size() << " blocks on "
+                                      << num_disks() << " disks");
+  (void)occupancy_mask(slots, num_disks());
+  for (const auto& s : slots) {
+    EMCGM_CHECK(s.out.size() == block_bytes());
+  }
+  pre_submit();
+  backend_->note_parallel_op();
+  return exec_->submit_read(slots);
+}
+
+IoTicket DiskArray::parallel_write_async(std::span<const WriteSlot> slots) {
+  if (!exec_) {
+    parallel_write(slots);
+    return 0;
+  }
+  EMCGM_CHECK_MSG(!slots.empty(), "empty parallel write");
+  EMCGM_CHECK_MSG(slots.size() <= num_disks(),
+                  "parallel write of " << slots.size() << " blocks on "
+                                       << num_disks() << " disks");
+  (void)occupancy_mask(slots, num_disks());
+  for (const auto& s : slots) {
+    EMCGM_CHECK(s.data.size() == block_bytes());
+  }
+  pre_submit();
+  backend_->note_parallel_op();
+  return exec_->submit_write(slots);
+}
+
+void DiskArray::wait(IoTicket ticket) const {
+  if (exec_) exec_->wait(ticket, stats_);
+}
+
+void DiskArray::drain() const {
+  if (exec_) exec_->drain(stats_);
+}
+
 std::uint64_t DiskArray::tracks_used() const {
+  drain();
   std::uint64_t total = 0;
   for (std::uint32_t d = 0; d < num_disks(); ++d) {
     total += backend_->tracks_used(d);

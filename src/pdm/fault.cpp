@@ -17,28 +17,53 @@ double fault_coin(std::uint64_t seed, std::uint64_t stream,
   return static_cast<double>(r >> 11) * 0x1.0p-53;
 }
 
+namespace {
+
+// Distinct coin streams per (fault class, disk), exactly the net_fault.cpp
+// idiom for (class, link): a full mix makes every stream independent, so a
+// disk's fault schedule is a function of its own op sequence alone.
+enum class DiskStream : std::uint64_t {
+  kTransientRead = 1,
+  kTransientWrite = 2,
+  kBitflip = 3,
+};
+
+std::uint64_t disk_stream(DiskStream s, std::uint32_t disk) {
+  return fault_mix((static_cast<std::uint64_t>(s) << 32) ^ disk);
+}
+
+}  // namespace
+
 FaultInjectingBackend::FaultInjectingBackend(
     std::unique_ptr<StorageBackend> inner, FaultPlan plan)
     : StorageBackend(inner->geometry()),
       inner_(std::move(inner)),
-      plan_(plan) {}
+      plan_(plan),
+      disks_(geom_.num_disks) {}
+
+FaultCounters FaultInjectingBackend::counters() const {
+  FaultCounters total = note_counters_;
+  for (const auto& d : disks_) total += d.counters;
+  return total;
+}
 
 bool FaultInjectingBackend::fire_transient(std::uint64_t at, double prob,
-                                           std::uint64_t index) {
+                                           std::uint64_t stream,
+                                           std::uint64_t index) const {
   if (at != 0 && index >= at && index < at + plan_.transient_burst) {
     return true;
   }
-  return prob > 0 && fault_coin(plan_.seed, at ^ 0x7472616E73ULL, index) < prob;
+  return prob > 0 && fault_coin(plan_.seed, stream, index) < prob;
 }
 
 void FaultInjectingBackend::note_parallel_op() {
   inner_->note_parallel_op();
-  if (!armed_) return;
+  if (!armed()) return;
   ++parallel_ops_;
-  if (crashed_ ||
+  if (crashed_.load(std::memory_order_relaxed) ||
       (plan_.crash_after_ops != 0 && parallel_ops_ > plan_.crash_after_ops)) {
-    crashed_ = true;
-    ++counters_.crashes;
+    crashed_.store(true, std::memory_order_relaxed);
+    ++note_counters_.crashes;
     std::ostringstream os;
     os << "fail-stop crash injected after " << plan_.crash_after_ops
        << " parallel I/Os";
@@ -48,20 +73,22 @@ void FaultInjectingBackend::note_parallel_op() {
 
 void FaultInjectingBackend::read_block(std::uint32_t disk, std::uint64_t track,
                                        std::span<std::byte> out) {
-  if (armed_) {
-    if (crashed_) {
-      ++counters_.crashes;
+  if (armed()) {
+    auto& d = disks_[disk];
+    if (crashed_.load(std::memory_order_relaxed)) {
+      ++d.counters.crashes;
       throw IoError(IoErrorKind::kCrash, "machine is down (fail-stop)");
     }
-    const std::uint64_t index = ++reads_;
-    if (read_burst_left_ > 0 ||
+    const std::uint64_t index = ++d.reads;
+    if (d.read_burst_left > 0 ||
         fire_transient(plan_.transient_read_at, plan_.transient_read_prob,
-                       index)) {
-      if (read_burst_left_ == 0) read_burst_left_ = plan_.transient_burst;
-      --read_burst_left_;
-      ++counters_.transient_reads;
+                       disk_stream(DiskStream::kTransientRead, disk), index)) {
+      if (d.read_burst_left == 0) d.read_burst_left = plan_.transient_burst;
+      --d.read_burst_left;
+      ++d.counters.transient_reads;
       std::ostringstream os;
-      os << "injected transient read fault (block read #" << index << ")";
+      os << "injected transient read fault (disk " << disk << " block read #"
+         << index << ")";
       throw IoError(IoErrorKind::kTransient, os.str());
     }
   }
@@ -71,29 +98,31 @@ void FaultInjectingBackend::read_block(std::uint32_t disk, std::uint64_t track,
 void FaultInjectingBackend::write_block(std::uint32_t disk,
                                         std::uint64_t track,
                                         std::span<const std::byte> data) {
-  if (!armed_) {
+  if (!armed()) {
     inner_->write_block(disk, track, data);
     return;
   }
-  if (crashed_) {
-    ++counters_.crashes;
+  auto& d = disks_[disk];
+  if (crashed_.load(std::memory_order_relaxed)) {
+    ++d.counters.crashes;
     throw IoError(IoErrorKind::kCrash, "machine is down (fail-stop)");
   }
-  const std::uint64_t index = ++writes_;
-  if (write_burst_left_ > 0 ||
+  const std::uint64_t index = ++d.writes;
+  if (d.write_burst_left > 0 ||
       fire_transient(plan_.transient_write_at, plan_.transient_write_prob,
-                     index)) {
-    if (write_burst_left_ == 0) write_burst_left_ = plan_.transient_burst;
-    --write_burst_left_;
-    ++counters_.transient_writes;
+                     disk_stream(DiskStream::kTransientWrite, disk), index)) {
+    if (d.write_burst_left == 0) d.write_burst_left = plan_.transient_burst;
+    --d.write_burst_left;
+    ++d.counters.transient_writes;
     std::ostringstream os;
-    os << "injected transient write fault (block write #" << index << ")";
+    os << "injected transient write fault (disk " << disk << " block write #"
+       << index << ")";
     throw IoError(IoErrorKind::kTransient, os.str());
   }
   if (plan_.torn_write_at != 0 && index == plan_.torn_write_at) {
     // Silent torn write: only a prefix reaches the media; the tail keeps the
     // track's previous contents (zero if never written). Reported as success.
-    ++counters_.torn_writes;
+    ++d.counters.torn_writes;
     std::vector<std::byte> torn(data.begin(), data.end());
     const std::size_t keep = torn.size() / 2;
     std::vector<std::byte> old(torn.size());
@@ -104,10 +133,12 @@ void FaultInjectingBackend::write_block(std::uint32_t disk,
   }
   if (plan_.bitflip_write_at != 0 && index == plan_.bitflip_write_at) {
     // Silent bit rot: one byte of the block is corrupted at rest.
-    ++counters_.bitflips;
+    ++d.counters.bitflips;
     std::vector<std::byte> flipped(data.begin(), data.end());
     const std::size_t pos =
-        fault_mix(plan_.seed ^ index) % (flipped.empty() ? 1 : flipped.size());
+        fault_mix(plan_.seed ^ disk_stream(DiskStream::kBitflip, disk) ^
+                  index) %
+        (flipped.empty() ? 1 : flipped.size());
     flipped[pos] ^= std::byte{0x40};
     inner_->write_block(disk, track, flipped);
     return;

@@ -1,0 +1,158 @@
+// Asynchronous per-disk I/O executor: the engine that makes a "parallel I/O"
+// actually parallel on the wall clock.
+//
+// The PDM cost rule says one parallel operation moves up to D blocks, one
+// per disk, at unit cost — but a serial loop over the blocks makes the wall
+// clock D× a single-block latency. The executor runs W = min(io_threads, D)
+// worker threads; worker w owns disks {d : d mod W == w} and drains one FIFO
+// submission queue per worker. Because DiskArray's occupancy mask already
+// guarantees that one operation never names a disk twice, and each disk's
+// jobs execute in submission order, per-disk timelines are
+// schedule-independent: read-after-write on a disk is ordered by the FIFO,
+// and the fault injector's per-disk coin streams (fault.h) see the same
+// per-disk op sequence no matter how the workers interleave.
+//
+// Determinism contract (DESIGN.md §12):
+//   * submission order defines everything observable — op-level IoStats are
+//     applied at *reap* time in ascending op order, so counters are
+//     bit-identical to the serial path;
+//   * errors are re-raised canonically: the failure with the smallest
+//     (op sequence, slot index) wins, regardless of which worker hit an
+//     error first on the wall clock; ops submitted after the failed one are
+//     drained but not counted, matching the serial path (which would never
+//     have reached them);
+//   * per-block counters (retries, corruptions) are per-disk shards owned by
+//     the workers, folded into IoStats at reap — exact whenever the array is
+//     quiescent (wait/drain returned).
+//
+// DiskArray is the only intended client; it keeps the serial path verbatim
+// when io_threads == 0.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "pdm/backend.h"
+#include "pdm/io_stats.h"
+
+namespace emcgm::pdm {
+
+struct ReadSlot;
+struct WriteSlot;
+struct RetryPolicy;
+
+class IoExecutor {
+ public:
+  /// Called after every submit/completion with the number of in-flight
+  /// blocks, under the completion lock (so calls are serialized, but they
+  /// arrive from worker threads — the sink must be thread-safe).
+  using DepthFn = std::function<void(std::uint64_t in_flight_blocks)>;
+  using SleepFn = std::function<void(std::uint64_t delay_us)>;
+
+  /// `backend` and `retry` outlive the executor. `checksums` mirrors
+  /// DiskArrayOptions.checksums: workers then carry a per-worker physical
+  /// scratch block and seal/unseal around the backend calls.
+  IoExecutor(StorageBackend& backend, std::uint32_t num_workers,
+             bool checksums, const RetryPolicy& retry, SleepFn sleep,
+             DepthFn depth);
+  ~IoExecutor();  ///< stops and joins workers; DiskArray drains first, so
+                  ///< the queues are empty by the time this runs.
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  /// Enqueue one parallel read; buffers in `slots` must stay valid until the
+  /// returned ticket is waited on. Returns the op's sequence number.
+  std::uint64_t submit_read(std::span<const ReadSlot> slots);
+
+  /// Enqueue one parallel write; payloads are *copied* into the jobs, so the
+  /// caller's buffers may die immediately (write-behind).
+  std::uint64_t submit_write(std::span<const WriteSlot> slots);
+
+  /// Block until every op with sequence <= ticket has completed, then reap:
+  /// apply op-level stats in ascending op order and fold the per-disk retry/
+  /// corruption shards into `stats`. On error, drains everything in flight,
+  /// then re-raises the canonically-first failure (clearing it).
+  void wait(std::uint64_t ticket, IoStats& stats);
+
+  /// wait() for everything submitted so far — the completion barrier.
+  void drain(IoStats& stats);
+
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+ private:
+  struct Op {
+    std::uint64_t seq = 0;
+    bool is_write = false;
+    std::uint32_t blocks = 0;      ///< slots in the op
+    bool full_stripe = false;      ///< op named every disk
+    std::uint32_t pending = 0;     ///< jobs not yet completed (done_mu_)
+    /// (slot index, error) for every failed job; canonical order at reap.
+    std::vector<std::pair<std::uint32_t, std::exception_ptr>> errors;
+  };
+
+  struct Job {
+    Op* op = nullptr;
+    std::uint32_t slot = 0;
+    std::uint32_t disk = 0;
+    std::uint64_t track = 0;
+    bool is_write = false;
+    std::span<std::byte> out;        ///< read destination
+    std::vector<std::byte> payload;  ///< owned write payload copy
+  };
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> jobs;
+  };
+
+  /// Per-disk block-level counter shards. Written only by the disk's owning
+  /// worker; atomics because reaps may fold them while *other* ops are still
+  /// executing on the disk.
+  struct DiskCounters {
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> corruptions{0};
+  };
+
+  void run_worker(std::uint32_t w);
+  void execute(Job& job, std::vector<std::byte>& scratch,
+               DiskCounters& counters);
+  bool prefix_complete_locked(std::uint64_t ticket) const;
+  std::exception_ptr reap_locked(IoStats& stats, bool count_ops);
+  void fold_shards_locked(IoStats& stats);
+  void wait_and_reap(std::uint64_t ticket, IoStats& stats);
+
+  StorageBackend& backend_;
+  const bool checksums_;
+  const RetryPolicy& retry_;
+  SleepFn sleep_;
+  DepthFn depth_;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::unique_ptr<DiskCounters>> disk_counters_;  ///< per disk
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::deque<std::unique_ptr<Op>> ops_;  ///< in-flight + unreaped, seq order
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pending_blocks_ = 0;
+  std::uint64_t folded_retries_ = 0;  ///< shard totals already in stats
+  std::uint64_t folded_corruptions_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::thread> workers_;  ///< last member: joins before teardown
+};
+
+}  // namespace emcgm::pdm

@@ -76,6 +76,28 @@ void read_striped(DiskArray& array, TrackRegion& region, const Extent& e,
   }
 }
 
+IoTicket read_striped_async(DiskArray& array, TrackRegion& region,
+                            const Extent& e, std::span<std::byte> out) {
+  const std::size_t B = array.block_bytes();
+  const std::uint32_t D = array.num_disks();
+  const std::uint64_t blocks = e.blocks(B);
+  EMCGM_CHECK(out.size() == blocks * B);
+
+  IoTicket last = 0;
+  std::vector<ReadSlot> batch;
+  batch.reserve(D);
+  for (std::uint64_t q = 0; q < blocks; ++q) {
+    BlockAddr a = e.addr(D, q);
+    a.track = region.physical_track(a.track);
+    batch.push_back(ReadSlot{a, out.subspan(q * B, B)});
+    if (batch.size() == D || q + 1 == blocks) {
+      last = array.parallel_read_async(batch);
+      batch.clear();
+    }
+  }
+  return last;
+}
+
 namespace {
 
 template <typename Slot, typename IssueFn>
@@ -156,6 +178,14 @@ std::uint64_t greedy_read(DiskArray& array, std::span<const ReadSlot> slots) {
   return greedy_batch(array.num_disks(), slots, [&](auto span) {
     array.parallel_read(span);
   });
+}
+
+IoTicket greedy_read_async(DiskArray& array, std::span<const ReadSlot> slots) {
+  IoTicket last = 0;
+  greedy_batch(array.num_disks(), slots, [&](auto span) {
+    last = array.parallel_read_async(span);
+  });
+  return last;
 }
 
 }  // namespace emcgm::pdm

@@ -125,6 +125,18 @@ void write_striped(DiskArray& array, TrackRegion& region, const Extent& e,
 void read_striped(DiskArray& array, TrackRegion& region, const Extent& e,
                   std::span<std::byte> out);
 
+/// Async (prefetch) variant of read_striped: issues the same batches through
+/// parallel_read_async and returns the last ticket. `out` must hold whole
+/// blocks — e.blocks(B) * B bytes — so no tail staging is needed; the caller
+/// trims to e.bytes after waiting. In serial mode the reads execute
+/// immediately and the returned ticket is already complete.
+IoTicket read_striped_async(DiskArray& array, TrackRegion& region,
+                            const Extent& e, std::span<std::byte> out);
+
+/// Async variant of greedy_read: same batching, submitted without waiting.
+/// Returns the last ticket (0 when slots is empty or in serial mode).
+IoTicket greedy_read_async(DiskArray& array, std::span<const ReadSlot> slots);
+
 /// FIFO batched write, per the paper's DiskWrite procedure: slots are
 /// serviced strictly in order; a parallel op accumulates slots until one
 /// conflicts (same disk) with an earlier slot of the op or the op holds D

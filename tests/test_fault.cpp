@@ -3,9 +3,12 @@
 // checkpoint/recovery (kill the engine at/inside every compound superstep of
 // a multi-round sort, resume(), and demand bit-identical output).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <numeric>
+#include <string>
+#include <tuple>
 
 #include "algo/sort.h"
 #include "emcgm/em_engine.h"
@@ -181,16 +184,16 @@ TEST(FaultInjection, BackoffScheduleIsExponential) {
 
 TEST(FaultInjection, SilentBitFlipCaughtByChecksum) {
   FaultPlan plan;
-  plan.bitflip_write_at = 2;
+  plan.bitflip_write_at = 2;  // triggers fire on the per-disk write index
   DiskArrayOptions opts;
   opts.checksums = true;
   auto a = array_with(plan, opts);
   const auto data = pattern(128, 5);
-  write_one(*a, 0, 0, data);  // clean
-  write_one(*a, 1, 0, data);  // corrupted at rest
+  write_one(*a, 0, 0, data);  // disk 0 write #1: clean
+  write_one(*a, 0, 1, data);  // disk 0 write #2: corrupted at rest
   EXPECT_EQ(read_one(*a, 0, 0), data);
   try {
-    read_one(*a, 1, 0);
+    read_one(*a, 0, 1);
     FAIL() << "bit flip not detected";
   } catch (const IoError& e) {
     EXPECT_EQ(e.kind(), IoErrorKind::kCorruption);
@@ -315,17 +318,26 @@ TEST(Checkpoint, CheckpointingDoesNotChangeResults) {
   EXPECT_TRUE(ckpt.has_checkpoint());
 }
 
-// The kill-and-resume sweep runs on both storage backends: MemoryBackend
+// The kill-and-resume sweep runs on both storage backends — MemoryBackend
 // (counts only) and FileBackend (real pread/pwrite/fsync under /tmp), so
-// recovery is exercised against genuinely persisted bytes too. Each engine
-// instance gets its own directory — FileBackend truncates on open.
-class CheckpointSweep : public ::testing::TestWithParam<pdm::BackendKind> {
+// recovery is exercised against genuinely persisted bytes too — and across
+// io_threads ∈ {0, 2, D}: crash points are op-indexed, so the async
+// executor must put every fail-stop at exactly the same place the serial
+// path does. Each engine instance gets its own directory — FileBackend
+// truncates on open.
+class CheckpointSweep
+    : public ::testing::TestWithParam<
+          std::tuple<pdm::BackendKind, std::uint32_t>> {
  protected:
   cgm::MachineConfig sweep_cfg() {
     auto cfg = ckpt_cfg();
-    cfg.backend = GetParam();
+    cfg.backend = std::get<0>(GetParam());
+    cfg.io_threads = std::get<1>(GetParam());
     if (cfg.backend == pdm::BackendKind::kFile) {
-      cfg.file_dir = "/tmp/emcgm_test_sweep_" + std::to_string(next_dir_++);
+      // getpid: ctest -j runs sibling parameterizations of this binary as
+      // separate processes whose counters would otherwise collide in /tmp.
+      cfg.file_dir = "/tmp/emcgm_test_sweep_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(next_dir_++);
     }
     return cfg;
   }
@@ -345,6 +357,26 @@ TEST_P(CheckpointSweep, ResumeAfterEverySuperstepBoundary) {
   ASSERT_GT(ref.last_result().app_rounds, 3u) << "need a multi-round sort";
   // Every commit was made durable before being declared committed.
   EXPECT_EQ(ref.io_stats(0).fsyncs, ref.last_result().io_per_step.size());
+
+  // Cross-mode identity: the async executor must be invisible — outputs,
+  // totals, and the per-superstep I/O trace all bit-identical to the serial
+  // path on the same backend.
+  if (std::get<1>(GetParam()) != 0) {
+    auto serial_cfg = sweep_cfg();
+    serial_cfg.io_threads = 0;
+    em::EmEngine serial(serial_cfg);
+    const auto serial_out = serial.run(prog, keyed_inputs(4, keys));
+    EXPECT_TRUE(same_outputs(serial_out, expected));
+    EXPECT_EQ(serial.io_stats(0), ref.io_stats(0));
+    ASSERT_EQ(serial.last_result().io_per_step.size(),
+              ref.last_result().io_per_step.size());
+    for (std::size_t i = 0; i < serial.last_result().io_per_step.size();
+         ++i) {
+      EXPECT_EQ(serial.last_result().io_per_step[i],
+                ref.last_result().io_per_step[i])
+          << "superstep " << i;
+    }
+  }
 
   std::vector<std::uint64_t> crash_points;
   std::uint64_t cum = 0;
@@ -386,14 +418,17 @@ TEST_P(CheckpointSweep, ResumeAfterEverySuperstepBoundary) {
   EXPECT_GE(resumed, 8);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, CheckpointSweep,
-                         ::testing::Values(pdm::BackendKind::kMemory,
-                                           pdm::BackendKind::kFile),
-                         [](const auto& info) {
-                           return info.param == pdm::BackendKind::kMemory
-                                      ? "Memory"
-                                      : "File";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CheckpointSweep,
+    ::testing::Combine(::testing::Values(pdm::BackendKind::kMemory,
+                                         pdm::BackendKind::kFile),
+                       ::testing::Values(0u, 2u, 4u)),
+    [](const auto& info) {
+      const char* b = std::get<0>(info.param) == pdm::BackendKind::kMemory
+                          ? "Memory"
+                          : "File";
+      return std::string(b) + "T" + std::to_string(std::get<1>(info.param));
+    });
 
 TEST(Checkpoint, ResumeWithBalancedRoutingAndStaggeredMatrix) {
   auto cfg = ckpt_cfg();

@@ -6,8 +6,12 @@
 // file path is held to the same contract — including sparse reads, statistics
 // and the checksummed-envelope geometry.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
+#include <string>
+#include <tuple>
 
 #include "pdm/backend.h"
 #include "pdm/checksum.h"
@@ -31,18 +35,33 @@ std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed) {
 
 }  // namespace
 
-/// DiskArray contract tests, instantiated once per storage backend.
-class BackendSuite : public ::testing::TestWithParam<BackendKind> {
+/// DiskArray contract tests, instantiated per (storage backend, io_threads):
+/// the async executor must satisfy the same contract — op legality, stats at
+/// quiesce points, striping round-trips — as the serial path, on both
+/// backends. io_threads above D is clamped, so "4 workers" on a 2-disk array
+/// exercises the clamp too.
+class BackendSuite
+    : public ::testing::TestWithParam<std::tuple<BackendKind, std::uint32_t>> {
  protected:
+  std::uint32_t io_threads() const { return std::get<1>(GetParam()); }
+
   std::unique_ptr<DiskArray> make(std::uint32_t D, std::size_t B,
                                   DiskArrayOptions opts = {}) {
     std::string dir;
-    if (GetParam() == BackendKind::kFile) {
-      dir = "/tmp/emcgm_test_pdm_param";
+    if (std::get<0>(GetParam()) == BackendKind::kFile) {
+      // Unique per process *and* per array: ctest -j runs sibling
+      // parameterizations of this binary concurrently, and a shared
+      // directory would let one test's remove_all race another's live
+      // backend files.
+      static std::atomic<int> next_dir{0};
+      dir = "/tmp/emcgm_test_pdm_param_" + std::to_string(::getpid()) + "_" +
+            std::to_string(next_dir++);
       dirs_.push_back(dir);
       std::filesystem::remove_all(dir);
     }
-    return make_disk_array(GetParam(), DiskGeometry{D, B}, dir, opts);
+    opts.io_threads = io_threads();
+    return make_disk_array(std::get<0>(GetParam()), DiskGeometry{D, B}, dir,
+                           opts);
   }
 
   void TearDown() override {
@@ -55,9 +74,15 @@ class BackendSuite : public ::testing::TestWithParam<BackendKind> {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, BackendSuite,
-    ::testing::Values(BackendKind::kMemory, BackendKind::kFile),
-    [](const ::testing::TestParamInfo<BackendKind>& info) {
-      return info.param == BackendKind::kMemory ? "Memory" : "File";
+    ::testing::Combine(::testing::Values(BackendKind::kMemory,
+                                         BackendKind::kFile),
+                       ::testing::Values(0u, 2u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<BackendKind, std::uint32_t>>&
+           info) {
+      const char* b = std::get<0>(info.param) == BackendKind::kMemory
+                          ? "Memory"
+                          : "File";
+      return std::string(b) + "T" + std::to_string(std::get<1>(info.param));
     });
 
 TEST(Geometry, ConsecutiveAddressing) {
@@ -112,6 +137,7 @@ TEST_P(BackendSuite, CountsOpsAndBlocks) {
   a->parallel_write(full);
   WriteSlot one{BlockAddr{2, 9}, d};
   a->parallel_write(std::span<const WriteSlot>(&one, 1));
+  a->drain();  // stats are exact at quiesce points (write-behind)
   EXPECT_EQ(a->stats().write_ops, 2u);
   EXPECT_EQ(a->stats().blocks_written, 5u);
   EXPECT_EQ(a->stats().full_stripe_ops, 1u);
@@ -156,6 +182,7 @@ TEST_P(BackendSuite, StripingExtentRoundTripAndOpCount) {
   auto data = pattern(10 * 64 - 13, 6);  // partial tail block
   Extent e = cursor.alloc(data.size(), 64);
   write_striped(*a, region, e, data);
+  a->drain();
   EXPECT_EQ(a->stats().write_ops, 3u);
   std::vector<std::byte> out(data.size());
   read_striped(*a, region, e, out);
@@ -171,6 +198,7 @@ TEST_P(BackendSuite, FifoWriteCutsOnConflict) {
                                {BlockAddr{1, 0}, d},
                                {BlockAddr{0, 1}, d}};
   EXPECT_EQ(fifo_write(*a, slots), 2u);
+  a->drain();
   EXPECT_EQ(a->stats().write_ops, 2u);
 }
 

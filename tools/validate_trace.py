@@ -25,6 +25,12 @@ SPAN_NAMES = {
     "superstep", "group_step", "context_read", "inbox_read", "compute",
     "outbox_write", "context_write", "net_post", "net_collect", "net_pair",
     "deliver", "commit", "recovery", "heartbeat", "output_collect",
+    "io_prefetch", "io_drain",
+}
+# Required args keys per counter-track name.
+COUNTER_KEYS = {
+    "pdm": ("io_ops", "wire_bytes", "comm_bytes"),
+    "io_queue_depth": ("depth",),
 }
 SPAN_CATEGORIES = {"engine", "io", "compute", "net", "ckpt"}
 PHASES = {"compute", "regroup", "final", "output"}
@@ -59,8 +65,11 @@ def validate_trace(path):
                 fail(f"{path}: event {i}: unknown metadata {e.get('name')!r}")
             continue
         if ph == "C":
+            name = e.get("name")
+            if name not in COUNTER_KEYS:
+                fail(f"{path}: counter event {i}: unknown name {name!r}")
             args = e.get("args", {})
-            for key in ("io_ops", "wire_bytes", "comm_bytes"):
+            for key in COUNTER_KEYS[name]:
                 if key not in args:
                     fail(f"{path}: counter event {i}: missing {key}")
             continue
