@@ -114,32 +114,59 @@ struct MachineConfig {
   /// bit-identical — outputs and every stat counter — to a pre-obs build.
   obs::ObsConfig obs{};
 
+  /// Reject an invalid configuration up front with a typed
+  /// IoError(kConfig) — called by both engines' constructors, so a bad
+  /// machine never fails deep inside a run. (IoError derives from Error;
+  /// callers catching Error still catch these.)
   void validate() const {
-    EMCGM_CHECK_MSG(v >= 1, "need at least one virtual processor");
-    EMCGM_CHECK_MSG(p >= 1 && p <= v, "need 1 <= p <= v");
-    EMCGM_CHECK_MSG(v % p == 0,
-                    "p must divide v (paper §2.2 exposition assumption)");
-    EMCGM_CHECK_MSG(!(checkpointing && single_copy_matrix),
-                    "checkpointing cannot replay a superstep under the"
-                    " Observation-2 single-copy matrix (outgoing slots"
-                    " overwrite the inbox being replayed)");
-    EMCGM_CHECK_MSG(retry.max_attempts >= 1,
-                    "retry policy needs at least one attempt");
-    EMCGM_CHECK_MSG(fault_per_proc.empty() || fault_per_proc.size() == p,
-                    "fault_per_proc must be empty or have exactly p entries");
-    EMCGM_CHECK_MSG(!net.failover || net.enabled,
-                    "net.failover requires net.enabled");
-    EMCGM_CHECK_MSG(!net.failover || checkpointing,
-                    "net.failover re-assigns work from the last committed"
-                    " checkpoint; enable checkpointing");
-    EMCGM_CHECK_MSG(net.retry.max_attempts >= 1,
-                    "network retry policy needs at least one attempt");
-    EMCGM_CHECK_MSG(!net.enabled || net.mtu_bytes > 0,
-                    "network MTU must be positive");
-    EMCGM_CHECK_MSG(file_roots.empty() || file_roots.size() == p,
-                    "file_roots must be empty or have exactly p entries");
-    EMCGM_CHECK_MSG(file_roots.empty() || backend == pdm::BackendKind::kFile,
-                    "file_roots requires BackendKind::kFile");
+    auto check = [](bool ok, const std::string& what) {
+      if (!ok) throw IoError(IoErrorKind::kConfig, what);
+    };
+    check(v >= 1, "need at least one virtual processor");
+    check(p >= 1 && p <= v, "need 1 <= p <= v");
+    check(v % p == 0, "p must divide v (paper §2.2 exposition assumption)");
+    check(!(checkpointing && single_copy_matrix),
+          "checkpointing cannot replay a superstep under the Observation-2"
+          " single-copy matrix (outgoing slots overwrite the inbox being"
+          " replayed)");
+    check(retry.max_attempts >= 1, "retry policy needs at least one attempt");
+    check(fault_per_proc.empty() || fault_per_proc.size() == p,
+          "fault_per_proc must be empty or have exactly p entries");
+    check(!(io_threads > 0 && disk.num_disks == 0),
+          "io_threads > 0 with zero disks: there is nothing for the async"
+          " executor to serve");
+    check(!net.failover || net.enabled, "net.failover requires net.enabled");
+    check(!net.failover || checkpointing,
+          "net.failover re-assigns work from the last committed checkpoint;"
+          " enable checkpointing");
+    check(!net.failover || net.heartbeat_miss_threshold >= 1,
+          "heartbeat_miss_threshold == 0 would declare every processor dead"
+          " at the first heartbeat round; need >= 1");
+    check(net.retry.max_attempts >= 1,
+          "network retry policy needs at least one attempt");
+    check(!net.enabled || net.mtu_bytes > 0, "network MTU must be positive");
+    check(!net.rejoin || net.failover,
+          "net.rejoin re-admits processors through the fail-over machinery;"
+          " enable net.failover");
+    for (const net::NodeEvent& e : net.fault.fail_stops) {
+      check(e.proc < p, "fail_stops names a processor outside 0..p-1");
+    }
+    for (const net::NodeEvent& e : net.fault.rejoins) {
+      check(e.proc < p, "rejoins names a processor outside 0..p-1");
+      bool killed_before =
+          net.fault.fail_stop_proc == e.proc && net.fault.fail_stop_at_step <
+                                                    e.step;
+      for (const net::NodeEvent& k : net.fault.fail_stops) {
+        killed_before = killed_before || (k.proc == e.proc && k.step < e.step);
+      }
+      check(killed_before,
+            "rejoin_at_step scheduled for a node never killed before that"
+            " step: a reboot needs a preceding fail-stop");
+    }
+    check(file_roots.empty() || file_roots.size() == p,
+          "file_roots must be empty or have exactly p entries");
+    check(file_roots.empty() || backend == pdm::BackendKind::kFile,
+          "file_roots requires BackendKind::kFile");
     disk.validate();
   }
 };

@@ -44,6 +44,10 @@ struct RunResult {
   /// cfg.net.failover): each one re-assigned a dead processor's virtual
   /// processors to survivors and replayed from the last commit.
   std::uint64_t failovers = 0;
+  /// Processors re-admitted by the rejoin handshake (EM engine with
+  /// cfg.net.rejoin): each one caught up from the last committed checkpoint
+  /// and took store groups back at a superstep barrier.
+  std::uint64_t rejoins = 0;
   double wall_s = 0.0;
 
   RunResult& operator+=(const RunResult& o) {
@@ -55,6 +59,7 @@ struct RunResult {
                        o.io_per_step.end());
     net += o.net;
     failovers += o.failovers;
+    rejoins += o.rejoins;
     wall_s += o.wall_s;
     return *this;
   }

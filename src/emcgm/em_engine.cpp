@@ -25,9 +25,10 @@ constexpr std::uint32_t kNoHost = 0xFFFFFFFF;
 
 // Commit-record framing (superstep checkpointing). Version 2 added the
 // ownership map (group_host / alive) so a committed boundary records who was
-// executing each store group when it was taken.
+// executing each store group when it was taken; version 3 added the
+// membership epoch under which the boundary was committed.
 constexpr std::uint32_t kCkptMagic = 0x454D4B50;  // "EMKP"
-constexpr std::uint32_t kCkptVersion = 2;
+constexpr std::uint32_t kCkptVersion = 3;
 
 // Internal control flow only (never escapes this translation unit): one or
 // more real processors were found dead — by a fail-stop crash of their own
@@ -224,6 +225,7 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
       ar.put<std::uint64_t>(seq);
       ar.put<std::uint64_t>(round);
       ar.put<std::uint32_t>(static_cast<std::uint32_t>(phase));
+      ar.put<std::uint64_t>(epoch_);
       for (std::uint32_t g2 = 0; g2 < cfg_.p; ++g2) {
         ar.put<std::uint32_t>(group_host_[g2]);
       }
@@ -302,6 +304,13 @@ void EmEngine::restore_from_commit() {
     EMCGM_CHECK_MSG(seq == commit_.seq && round == commit_.round &&
                         phase == static_cast<std::uint32_t>(commit_.phase),
                     "commit record does not match the in-memory commit mark");
+    // Membership epoch (v3): the epoch under which the boundary was taken.
+    // A fail-over bumps the epoch *before* restoring the record committed
+    // under the old epoch, so the recorded value is a floor, not an
+    // equality.
+    const auto rec_epoch = ar.get<std::uint64_t>();
+    EMCGM_CHECK_MSG(rec_epoch <= epoch_,
+                    "commit record from a future membership epoch");
     // Ownership map (v2): who hosted each store group at this boundary. The
     // in-memory map is authoritative — a fail-over re-assigns hosts *before*
     // restoring, and the restore must not undo that — so the recorded map is
@@ -318,6 +327,175 @@ void EmEngine::restore_from_commit() {
     rp->messages->load(ar);
     EMCGM_CHECK_MSG(ar.exhausted(), "commit record has trailing bytes");
   }
+}
+
+// ---------------------------------------------------------- membership ----
+
+void EmEngine::bump_epoch() {
+  ++epoch_;
+  if (net_) net_->set_epoch(epoch_);
+  if (tracer_) tracer_->record_membership_epoch(epoch_);
+}
+
+std::vector<std::uint32_t> EmEngine::rebalance_groups() const {
+  // Home placement first: a group whose original owner is alive stays (or
+  // returns) home — its disks live there, so the placement is free — and
+  // seeds that host's load. Orphans are then spread greedily, group id
+  // ascending, onto the least-loaded live host (ties to the lowest id).
+  // The result is a pure function of the alive set: every replica of the
+  // run — whatever its threading mode — rebalances identically, the
+  // max-min load difference is at most 1, and only groups that *must*
+  // move (or can go home) ever change host.
+  std::vector<std::uint32_t> host(cfg_.p, kNoHost);
+  std::vector<std::uint32_t> load(cfg_.p, 0);
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    if (!alive_[g]) continue;
+    host[g] = g;
+    ++load[g];
+  }
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    if (host[g] != kNoHost) continue;
+    std::uint32_t best = kNoHost;
+    for (std::uint32_t h = 0; h < cfg_.p; ++h) {
+      if (!alive_[h]) continue;
+      if (best == kNoHost || load[h] < load[best]) best = h;
+    }
+    EMCGM_ASSERT(best != kNoHost);
+    host[g] = best;
+    ++load[best];
+  }
+  return host;
+}
+
+std::vector<std::byte> EmEngine::read_commit_blob(std::uint32_t g) {
+  auto& rp = *procs_[g];
+  auto& ck = *rp.ckpt[static_cast<int>(commit_.seq % 2)];
+  std::vector<std::byte> blob(ck.extent.bytes);
+  pdm::read_striped(*rp.disks, ck.tracks, ck.extent, blob);
+  return blob;
+}
+
+void EmEngine::validate_commit_record(std::uint32_t g,
+                                      std::span<const std::byte> blob) const {
+  // Checkpoint catch-up on the receiving side of a hand-over: the stores
+  // themselves are not loaded from the migrated copy — the group's own
+  // disks are authoritative and the new host reads them directly — but a
+  // host handing over a stale or torn record must be caught here, not a
+  // superstep later.
+  EMCGM_CHECK_MSG(blob.size() > 4, "migrated commit record truncated");
+  const auto body = std::span<const std::byte>(blob.data(), blob.size() - 4);
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - 4, 4);
+  if (stored_crc != pdm::crc32c(body)) {
+    throw IoError(IoErrorKind::kCorruption,
+                  "migrated commit record checksum mismatch");
+  }
+  ReadArchive ar(body);
+  const auto magic = ar.get<std::uint32_t>();
+  const auto version = ar.get<std::uint32_t>();
+  if (magic != kCkptMagic || version != kCkptVersion) {
+    throw IoError(IoErrorKind::kCorruption,
+                  "migrated commit record has bad magic/version");
+  }
+  const auto seq = ar.get<std::uint64_t>();
+  EMCGM_CHECK_MSG(seq == commit_.seq,
+                  "group " << g << " migrated a stale commit record (seq "
+                           << seq << ", committed " << commit_.seq << ")");
+}
+
+std::uint64_t EmEngine::migrate_groups(
+    const std::vector<std::uint32_t>& old_host, std::uint64_t round) {
+  // The group's state lives on its own disks — the new host simply remounts
+  // them — so a hand-over moves no context or message bytes. What crosses
+  // the wire is the catch-up: a live old host streams the group's committed
+  // record to the new host through the staged mailbox path, and the new
+  // host validates it against the in-memory commit mark before taking the
+  // group. A dead old host cannot stream anything; its groups are adopted
+  // straight off their surviving disks (no wire traffic, counted as
+  // migrations all the same). Groups are handed over in ascending order at
+  // the barrier, so the round's wire activity is canonical in every
+  // threading mode.
+  std::vector<std::uint32_t> moved;
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    if (old_host[g] != group_host_[g]) moved.push_back(g);
+  }
+  if (moved.empty()) return 0;
+  obs::Tracer* tr = tracer_.get();
+  obs::SpanScope span(tr, tr ? &tr->engine_shard() : nullptr,
+                      obs::SpanKind::kRebalance, tr ? tr->engine_pid() : 0, 0,
+                      -1, -1, phys_step_, round);
+  std::uint64_t wire_bytes = 0;
+  net_->begin_round();
+  for (std::uint32_t g : moved) {
+    const std::uint32_t from = old_host[g];
+    std::uint64_t record_bytes = 0;
+    if (alive_[from]) {
+      auto blob = read_commit_blob(g);
+      record_bytes = blob.size();
+      WriteArchive ar;
+      ar.put<std::uint32_t>(g);
+      ar.put_bytes(blob);
+      net_->post(from, group_host_[g], ar.take());
+    }
+    net_->count_migration(record_bytes);
+    wire_bytes += record_bytes;
+  }
+  for (std::uint32_t h = 0; h < cfg_.p; ++h) {
+    if (alive_[h]) net_->finish_sender(h);
+  }
+  // A cascading loss during the hand-over round itself is unrecoverable
+  // from here (this may already be the fail-over path); let it surface.
+  auto inboxes = net_->collect();
+  for (std::uint32_t h = 0; h < cfg_.p; ++h) {
+    std::vector<std::vector<std::byte>> stream_from(cfg_.p);
+    for (auto& d : inboxes[h]) {
+      auto& s = stream_from[d.src];
+      s.insert(s.end(), d.payload.begin(), d.payload.end());
+    }
+    for (std::uint32_t hs = 0; hs < cfg_.p; ++hs) {
+      if (stream_from[hs].empty()) continue;
+      ReadArchive ar(stream_from[hs]);
+      while (!ar.exhausted()) {
+        const auto g = ar.get<std::uint32_t>();
+        EMCGM_CHECK_MSG(g < cfg_.p && group_host_[g] == h,
+                        "migrated commit record misrouted");
+        const auto blob = ar.get_bytes();
+        validate_commit_record(g, blob);
+      }
+    }
+  }
+  span.set_aux(moved.size(), wire_bytes);
+  return wire_bytes;
+}
+
+std::uint64_t EmEngine::try_rejoin(std::uint64_t round,
+                                   cgm::RunResult& result) {
+  if (!cfg_.net.rejoin || !net_ || !commit_.valid) return 0;
+  const auto candidates = net_->rejoin_round(phys_step_, epoch_, commit_.seq);
+  if (candidates.empty()) return 0;
+  obs::Tracer* tr = tracer_.get();
+  obs::SpanScope span(tr, tr ? &tr->engine_shard() : nullptr,
+                      obs::SpanKind::kRejoin, tr ? tr->engine_pid() : 0, 0,
+                      -1, -1, phys_step_, round);
+  // Re-admission runs at the barrier, before the superstep opens. The
+  // returner's disks hold exactly the committed state (the layout never
+  // moved while it was gone), the acks told it the committed superstep id,
+  // and the catch-up — the committed record of every group it takes back,
+  // streamed by the current host and validated on arrival — happens in the
+  // hand-over round. Nothing else needs restoring: at a barrier the live
+  // stores *are* the committed state.
+  for (std::uint32_t q : candidates) {
+    alive_[q] = 1;
+    net_->mark_alive(q);
+  }
+  bump_epoch();
+  const std::vector<std::uint32_t> old_host = group_host_;
+  group_host_ = rebalance_groups();
+  net_->reset_links();
+  const std::uint64_t record_bytes = migrate_groups(old_host, round);
+  result.rejoins += candidates.size();
+  span.set_aux(candidates.size(), record_bytes);
+  return candidates.size();
 }
 
 // ------------------------------------------------------------ fail-over ---
@@ -350,30 +528,24 @@ void EmEngine::failover(const std::vector<std::uint32_t>& dead_procs,
   for (char a : alive_) live += a ? 1 : 0;
   if (live == 0) unrecoverable("no surviving real processor");
 
-  // Re-assign orphaned store groups to the least-loaded survivors (ties to
-  // the lowest id — deterministic, so two runs with the same fault schedule
-  // degrade identically).
-  std::vector<std::uint32_t> load(cfg_.p, 0);
-  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
-    if (alive_[group_host_[g]]) ++load[group_host_[g]];
-  }
-  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
-    if (alive_[group_host_[g]]) continue;
-    std::uint32_t best = kNoHost;
-    for (std::uint32_t h = 0; h < cfg_.p; ++h) {
-      if (!alive_[h]) continue;
-      if (best == kNoHost || load[h] < load[best]) best = h;
-    }
-    EMCGM_ASSERT(best != kNoHost);
-    group_host_[g] = best;
-    ++load[best];
-  }
+  // Membership changed: new epoch (fresh, independent fault-coin streams on
+  // every link) and a full deterministic re-spread of the store groups over
+  // the survivors — two runs with the same fault schedule degrade
+  // identically, and the groups-per-live-host spread stays within 1.
+  bump_epoch();
+  const std::vector<std::uint32_t> old_host = group_host_;
+  group_host_ = rebalance_groups();
 
   // Leftovers of the aborted superstep must not reach the replay.
   net_->reset_links();
 
   result.failovers += 1;
   restore_from_commit();
+  // Hand over the groups that changed host. The dead machines' groups are
+  // adopted off their surviving disks; a group moving between two live
+  // survivors (the greedy spread can shift an orphan when the host set
+  // shrinks) gets its committed record streamed and re-validated.
+  migrate_groups(old_host, commit_.round);
 }
 
 // ----------------------------------------------------------------- run ----
@@ -388,14 +560,17 @@ std::vector<cgm::PartitionSet> EmEngine::run(
   running_program_ = program.name();
 
   // Fresh membership per run: every machine alive, every store group hosted
-  // by its original owner, the physical superstep clock at zero.
+  // by its original owner, the physical superstep clock and the membership
+  // epoch at zero.
   std::iota(group_host_.begin(), group_host_.end(), 0u);
   alive_.assign(p, 1);
   phys_step_ = 0;
+  epoch_ = 0;
   net_.reset();
   if (cfg_.net.enabled && p > 1) {
     net_ = std::make_unique<net::SimNetwork>(p, cfg_.net);
     if (tracer_) net_->set_tracer(tracer_.get());
+    if (tracer_) tracer_->record_membership_epoch(0);
   }
 
   pdm::IoStats io_before;
@@ -1042,6 +1217,10 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
             throw DeadProcsError{std::move(newly_dead), nullptr};
           }
         }
+        // Deaths take priority (the heartbeat above threw): a rejoin racing
+        // a second death is admitted at the next barrier, after the
+        // fail-over settled — deterministically, in every threading mode.
+        try_rejoin(round, result);
       }
       if (phase == Phase::kCompute) {
         // Open the superstep's mailbox round: hosts post crossing batches

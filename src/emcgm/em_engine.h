@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cgm/engine.h"
@@ -82,7 +83,14 @@ class EmEngine final : public cgm::Engine {
 
   /// False once a fail-over declared this real processor dead. Its disks
   /// survive (remounted by the adopting survivor); the machine is gone.
+  /// Flips back to true when the rejoin protocol re-admits the processor.
   bool alive(std::uint32_t real_proc) const;
+
+  /// Membership epoch of the current run: 0 at run start, +1 per membership
+  /// change (death fail-over or rejoin admission). The epoch selects the
+  /// per-link fault-coin stream family, which is what keeps a
+  /// kill -> rejoin -> kill history bit-identical across threading modes.
+  std::uint64_t membership_epoch() const { return epoch_; }
 
   /// The simulated network of the current run, or nullptr (net disabled or
   /// p == 1). Exposes wire statistics beyond last_result().net.
@@ -119,12 +127,45 @@ class EmEngine final : public cgm::Engine {
   void restore_from_commit();
 
   /// Absorb the death of `dead_procs` (fail-over): disarm their disk fault
-  /// injectors (the survivor remounts the disks), re-assign their store
-  /// groups to the least-loaded survivors, and restore every store from the
-  /// last committed boundary. Rethrows `cause` when fail-over is disabled,
-  /// nothing was committed yet, or no survivor remains.
+  /// injectors (the survivor remounts the disks), re-spread every store
+  /// group over the survivors with the deterministic greedy rule, and
+  /// restore every store from the last committed boundary. Rethrows `cause`
+  /// when fail-over is disabled, nothing was committed yet, or no survivor
+  /// remains.
   void failover(const std::vector<std::uint32_t>& dead_procs,
                 std::exception_ptr cause, cgm::RunResult& result);
+
+  /// Advance the membership epoch: fresh fault-coin streams on every link
+  /// and one membership_epoch counter sample in the trace.
+  void bump_epoch();
+
+  /// Deterministic greedy spread of the store groups over the live hosts:
+  /// groups whose home host is alive go home (their disks are there, the
+  /// move is free); orphans go to the least-loaded live host, group id
+  /// ascending, ties to the lowest host id. Max-min load difference <= 1.
+  std::vector<std::uint32_t> rebalance_groups() const;
+
+  /// Read group g's record of the current committed boundary back off its
+  /// own disks (the striped double-slot checkpoint area).
+  std::vector<std::byte> read_commit_blob(std::uint32_t g);
+
+  /// CRC + header validation of a commit record that crossed the wire
+  /// during a hand-over (checkpoint catch-up on the receiving host).
+  void validate_commit_record(std::uint32_t g,
+                              std::span<const std::byte> blob) const;
+
+  /// Hand over every group whose executing host differs from `old_host`:
+  /// live old hosts stream the group's committed record to the new host
+  /// over a staged mailbox round (validated on arrival, counted in
+  /// NetStats); dead old hosts hand over via the group's surviving disks.
+  /// Returns the record bytes that crossed the wire.
+  std::uint64_t migrate_groups(const std::vector<std::uint32_t>& old_host,
+                               std::uint64_t round);
+
+  /// Barrier-side rejoin admission (cfg.net.rejoin): run the handshake
+  /// round, re-admit every acknowledged returner, re-spread the groups and
+  /// run the hand-over round. Returns the number of processors re-admitted.
+  std::uint64_t try_rejoin(std::uint64_t round, cgm::RunResult& result);
 
   cgm::MachineConfig cfg_;
 
@@ -147,6 +188,7 @@ class EmEngine final : public cgm::Engine {
   std::vector<std::uint32_t> group_host_;
   std::vector<char> alive_;
   std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock
+  std::uint64_t epoch_ = 0;      ///< membership epoch (see membership_epoch)
 
   cgm::RunResult last_;
   cgm::RunResult total_;

@@ -32,6 +32,13 @@ namespace emcgm::net {
 
 inline constexpr std::uint32_t kNoProc = 0xFFFFFFFF;
 
+/// One entry of the membership schedule: processor `proc` fail-stops (or
+/// reboots) at physical superstep `step`.
+struct NodeEvent {
+  std::uint32_t proc = kNoProc;
+  std::uint64_t step = 0;
+};
+
 /// Seeded deterministic network fault schedule. Probabilities are per wire
 /// transmission, with independent per-link coin streams.
 struct NetFaultPlan {
@@ -47,13 +54,23 @@ struct NetFaultPlan {
   std::uint32_t base_latency_ticks = 1;  ///< fault-free one-way latency
 
   /// Fail-stop: real processor fail_stop_proc dies at physical superstep
-  /// fail_stop_at_step (all its traffic is dropped from then on).
+  /// fail_stop_at_step (all its traffic is dropped from then on). Shorthand
+  /// for a single-entry `fail_stops` schedule; both forms may be combined.
   std::uint32_t fail_stop_proc = kNoProc;
   std::uint64_t fail_stop_at_step = 0;
 
+  /// Full membership schedule: additional fail-stop events, and deterministic
+  /// reboots. A processor with a rejoin event later than its latest fail-stop
+  /// has its traffic flow again from that step on — the engine's rejoin
+  /// handshake (cfg.net.rejoin) then re-admits it at a superstep barrier.
+  /// A kill and a reboot at the same step resolve to dead (kill wins).
+  std::vector<NodeEvent> fail_stops{};
+  std::vector<NodeEvent> rejoins{};
+
   bool enabled() const {
     return drop_prob > 0 || dup_prob > 0 || corrupt_prob > 0 ||
-           reorder_prob > 0 || delay_prob > 0 || fail_stop_proc != kNoProc;
+           reorder_prob > 0 || delay_prob > 0 || fail_stop_proc != kNoProc ||
+           !fail_stops.empty();
   }
 };
 
@@ -82,6 +99,12 @@ struct NetConfig {
   bool mailbox_pump = true;
   /// Heartbeat rounds a processor may miss before it is declared dead.
   std::uint32_t heartbeat_miss_threshold = 3;
+  /// Let a fail-stopped processor with a scheduled reboot (fault.rejoins)
+  /// back into the membership: the engine runs the rejoin handshake after
+  /// each heartbeat round, replays the returning host's state from the last
+  /// committed checkpoint, and re-balances the store groups (requires
+  /// failover, hence checkpointing).
+  bool rejoin = false;
 };
 
 /// What the injector decided for one wire transmission.
@@ -101,13 +124,28 @@ class LinkFaultInjector {
   LinkFaultInjector(std::uint32_t p, NetFaultPlan plan);
 
   /// Advance the shared fault clock to physical superstep `step` (drives the
-  /// fail-stop trigger).
+  /// fail-stop and rejoin triggers).
   void set_step(std::uint64_t step) { step_ = step; }
 
-  /// True once `proc` has fail-stopped under the plan.
-  bool fail_stopped(std::uint32_t proc) const {
-    return plan_.fail_stop_proc == proc && step_ >= plan_.fail_stop_at_step;
-  }
+  /// Advance the membership epoch. The epoch is mixed into every per-link
+  /// coin stream id and the per-link transmission counters restart, so each
+  /// epoch draws from its own independent coin streams: a kill→rejoin→kill
+  /// sequence replays identically whatever traffic preceded it. Epoch 0
+  /// (the whole life of a run without membership changes) is bit-identical
+  /// to the pre-epoch streams.
+  void set_epoch(std::uint64_t epoch);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// True while `proc` is fail-stopped under the plan at the current step:
+  /// its latest fail-stop event has fired and no later rejoin event has.
+  bool fail_stopped(std::uint32_t proc) const;
+
+  /// True once a scheduled reboot has brought `proc` back up — it has a
+  /// rejoin event at or before the current step that outdates every fired
+  /// fail-stop. The rejoin handshake keys off this: only a node the plan
+  /// says has rebooted asks back in.
+  bool rebooted(std::uint32_t proc) const;
 
   /// Verdict for one transmission of `frame_bytes` bytes on link src->dst.
   /// Consumes one per-link fault-clock index for data/ack frames.
@@ -120,6 +158,7 @@ class LinkFaultInjector {
   NetFaultPlan plan_;
   std::uint32_t p_;
   std::uint64_t step_ = 0;
+  std::uint64_t epoch_ = 0;                ///< membership epoch (engine-fed)
   std::vector<std::uint64_t> link_index_;  ///< transmissions per ordered link
 };
 

@@ -45,8 +45,16 @@ struct NetStats {
   std::uint64_t corrupt_discarded = 0;        ///< frames failing the CRC
   std::uint64_t out_of_order_buffered = 0;    ///< frames held for resequencing
 
-  // Fail-over machinery.
+  // Fail-over and membership machinery.
   std::uint64_t heartbeat_rounds = 0;
+  std::uint64_t rejoin_requests = 0;  ///< kRejoinReq frames transmitted
+  std::uint64_t rejoin_acks = 0;      ///< kRejoinAck frames transmitted
+  std::uint64_t rejoins = 0;          ///< processors re-admitted
+  /// Store groups whose executing host changed on a membership change.
+  std::uint64_t rebalance_migrations = 0;
+  /// Bytes of committed state streamed old-host -> new-host for migrations
+  /// whose old host was still alive (dead hosts hand over via their disks).
+  std::uint64_t migration_bytes = 0;
 
   NetStats& operator+=(const NetStats& o) {
     data_sent += o.data_sent;
@@ -65,6 +73,11 @@ struct NetStats {
     corrupt_discarded += o.corrupt_discarded;
     out_of_order_buffered += o.out_of_order_buffered;
     heartbeat_rounds += o.heartbeat_rounds;
+    rejoin_requests += o.rejoin_requests;
+    rejoin_acks += o.rejoin_acks;
+    rejoins += o.rejoins;
+    rebalance_migrations += o.rebalance_migrations;
+    migration_bytes += o.migration_bytes;
     return *this;
   }
 
@@ -85,6 +98,11 @@ struct NetStats {
     corrupt_discarded -= o.corrupt_discarded;
     out_of_order_buffered -= o.out_of_order_buffered;
     heartbeat_rounds -= o.heartbeat_rounds;
+    rejoin_requests -= o.rejoin_requests;
+    rejoin_acks -= o.rejoin_acks;
+    rejoins -= o.rejoins;
+    rebalance_migrations -= o.rebalance_migrations;
+    migration_bytes -= o.migration_bytes;
     return *this;
   }
 

@@ -44,7 +44,7 @@ std::optional<Packet> parse_packet(std::span<const std::byte> frame) {
   if (frame.size() < kPacketHeaderBytes) return std::nullopt;
   if (get_u32(frame.data() + 0) != kPacketMagic) return std::nullopt;
   const std::uint32_t type = get_u32(frame.data() + 4);
-  if (type < 1 || type > 3) return std::nullopt;
+  if (type < 1 || type > 5) return std::nullopt;
   const std::uint32_t length = get_u32(frame.data() + 24);
   if (frame.size() != kPacketHeaderBytes + length) return std::nullopt;
 

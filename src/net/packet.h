@@ -23,6 +23,8 @@ enum class PacketType : std::uint32_t {
   kData = 1,       ///< one CGM message; seq = per-(src,dst) sequence number
   kAck = 2,        ///< cumulative ack; seq = highest in-order seq received
   kHeartbeat = 3,  ///< liveness beacon; seq = physical superstep index
+  kRejoinReq = 4,  ///< rebooted node asks back in; seq = superstep index
+  kRejoinAck = 5,  ///< survivor's answer; payload = epoch + committed seq
 };
 
 inline constexpr std::uint32_t kPacketMagic = 0x454D504B;  // "EMPK"

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/archive.h"
 
 namespace emcgm::net {
 
@@ -87,6 +88,81 @@ void SimNetwork::mark_dead(std::uint32_t proc) {
   }
 }
 
+void SimNetwork::mark_alive(std::uint32_t proc) {
+  EMCGM_CHECK(proc < p_);
+  EMCGM_CHECK_MSG(!round_active(), "mark_alive during an open mailbox round");
+  if (!dead_[proc]) return;
+  dead_[proc] = 0;
+  // The rejoined processor's protocol state restarts from scratch: both ends
+  // of every link touching it rewind to sequence 1 with empty windows and
+  // resequencing buffers — the peer kept nothing for it (mark_dead cleared
+  // the windows) and a stale expect-cursor would discard its fresh frames.
+  for (std::uint32_t q = 0; q < p_; ++q) {
+    for (LinkState* l : {&link(proc, q), &link(q, proc)}) {
+      l->window.clear();
+      l->ooo.clear();
+      l->next_seq = 1;
+      l->expect = 1;
+    }
+  }
+  // Renew the failure-detector lease as of the current step, otherwise the
+  // next heartbeat round would count the whole dead spell as misses.
+  if (hb_init_) last_seen_[proc] = static_cast<std::int64_t>(cur_step_);
+}
+
+std::vector<std::uint32_t> SimNetwork::rejoin_round(
+    std::uint64_t step, std::uint64_t epoch, std::uint64_t committed_seq) {
+  EMCGM_CHECK_MSG(!round_active(),
+                  "rejoin_round during an open mailbox round");
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t q = 0; q < p_; ++q) {
+    if (!dead_[q] || !injector_.rebooted(q)) continue;
+    // The rebooted node broadcasts its request to everyone it remembers;
+    // each live receiver acks with the current epoch and committed seq.
+    // Both legs are heartbeat-class: only fail-stop can eat them, and a
+    // rebooted node is by definition not fail-stopped, so a candidate is
+    // acked iff any live processor exists — deterministically.
+    std::uint32_t acks = 0;
+    for (std::uint32_t h = 0; h < p_; ++h) {
+      if (h == q) continue;
+      Packet req;
+      req.type = PacketType::kRejoinReq;
+      req.src = q;
+      req.dst = h;
+      req.seq = step;
+      ++stats_.rejoin_requests;
+      stats_.wire_bytes += kPacketHeaderBytes;
+      const LinkVerdict v = injector_.on_transmit(
+          q, h, PacketType::kRejoinReq, kPacketHeaderBytes);
+      if (v.drop || dead_[h]) {
+        if (v.drop) ++stats_.dropped;
+        continue;
+      }
+      Packet ack;
+      ack.type = PacketType::kRejoinAck;
+      ack.src = h;
+      ack.dst = q;
+      ack.seq = step;
+      WriteArchive ar;
+      ar.put<std::uint64_t>(epoch);
+      ar.put<std::uint64_t>(committed_seq);
+      ack.payload = ar.take();
+      const std::size_t ack_bytes = kPacketHeaderBytes + ack.payload.size();
+      ++stats_.rejoin_acks;
+      stats_.wire_bytes += ack_bytes;
+      const LinkVerdict va =
+          injector_.on_transmit(h, q, PacketType::kRejoinAck, ack_bytes);
+      if (va.drop) {
+        ++stats_.dropped;
+        continue;
+      }
+      ++acks;
+    }
+    if (acks > 0) candidates.push_back(q);
+  }
+  return candidates;
+}
+
 void SimNetwork::send(std::uint32_t src, std::uint32_t dst,
                       std::vector<std::byte> payload) {
   EMCGM_CHECK(src < p_ && dst < p_ && src != dst);
@@ -136,6 +212,12 @@ void SimNetwork::run_pair(std::uint32_t lo, std::uint32_t hi,
       case PacketType::kHeartbeat:
         ++out.stats.heartbeats_sent;
         break;
+      case PacketType::kRejoinReq:
+        ++out.stats.rejoin_requests;
+        break;
+      case PacketType::kRejoinAck:
+        ++out.stats.rejoin_acks;
+        break;
     }
     out.stats.wire_bytes += frame.size();
 
@@ -174,9 +256,14 @@ void SimNetwork::run_pair(std::uint32_t lo, std::uint32_t hi,
     const Packet& pkt = *parsed;
     if (pkt.src >= p_ || pkt.dst >= p_) return;
     if (dead_[pkt.src] || dead_[pkt.dst]) return;
-    // Heartbeats never travel through pair simulations (heartbeat_round is
-    // its own synchronous exchange); anything else here is ours.
-    if (pkt.type == PacketType::kHeartbeat) return;
+    // Heartbeat-class frames never travel through pair simulations (the
+    // heartbeat and rejoin rounds are their own synchronous exchanges);
+    // anything else here is ours.
+    if (pkt.type == PacketType::kHeartbeat ||
+        pkt.type == PacketType::kRejoinReq ||
+        pkt.type == PacketType::kRejoinAck) {
+      return;
+    }
 
     if (pkt.type == PacketType::kAck) {
       // Cumulative ack for the data direction dst -> src of the ack frame.

@@ -107,6 +107,11 @@ class SimNetwork {
     cur_step_ = step;
   }
 
+  /// Advance the membership epoch (engine-side, at a superstep barrier after
+  /// any death or rejoin). Mixed into every per-link fault-coin stream id —
+  /// see LinkFaultInjector::set_epoch for the determinism argument.
+  void set_epoch(std::uint64_t epoch) { injector_.set_epoch(epoch); }
+
   /// Attach a phase tracer (obs subsystem; nullptr = off, the default).
   /// Pair simulations then record their own wall-clock window — captured by
   /// whichever thread owns the pair, race-free — and the collector publishes
@@ -119,6 +124,13 @@ class SimNetwork {
   /// stops tracking it. Must not be called while a mailbox round is open.
   void mark_dead(std::uint32_t proc);
   bool dead(std::uint32_t proc) const { return dead_[proc] != 0; }
+
+  /// Administratively re-admit a processor (engine-side rejoin decision,
+  /// after the handshake produced a candidate): it sends and receives again,
+  /// its links restart from sequence 1, and the failure detector's lease is
+  /// renewed so the next heartbeat round does not instantly re-declare it.
+  /// Must not be called while a mailbox round is open.
+  void mark_alive(std::uint32_t proc);
 
   /// Queue a payload for reliable delivery src -> dst (both alive).
   void send(std::uint32_t src, std::uint32_t dst,
@@ -177,6 +189,31 @@ class SimNetwork {
   /// (already mark_dead()-ed on return). Used on NetError to attribute an
   /// exhausted link to a dead peer.
   std::vector<std::uint32_t> probe_dead();
+
+  /// One membership-epoch handshake, piggy-backed on the heartbeat exchange
+  /// at physical superstep `step`: every administratively-dead processor
+  /// whose scheduled reboot has fired (injector rebooted()) broadcasts a
+  /// rejoin request to the live processors; each live receiver answers with
+  /// an ack carrying the current epoch and the last committed superstep
+  /// sequence. A candidate that collects at least one ack is returned —
+  /// NOT yet re-admitted; the engine restores its state first, then calls
+  /// mark_alive(). Rejoin frames are heartbeat-class (subject only to
+  /// fail-stop, never to random loss), so the returned set is deterministic
+  /// under any loss seed — the same argument that makes the failure detector
+  /// eventually perfect. Idempotent: calling again before mark_alive()
+  /// re-runs the same handshake (duplicate requests are absorbed).
+  std::vector<std::uint32_t> rejoin_round(std::uint64_t step,
+                                          std::uint64_t epoch,
+                                          std::uint64_t committed_seq);
+
+  /// Account one store-group migration decided by the engine's re-balance
+  /// (the wire frames themselves were already counted by the staged round
+  /// that carried them). `bytes` is zero when the old host was dead — the
+  /// state then hands over via the group's surviving disks, not the wire.
+  void count_migration(std::uint64_t bytes) {
+    ++stats_.rebalance_migrations;
+    stats_.migration_bytes += bytes;
+  }
 
   /// Abandon the current protocol epoch: drop every in-flight frame, sender
   /// window, resequencing buffer, and mailbox, and rewind all sequence

@@ -64,6 +64,14 @@ void aux_names(SpanKind k, const char** a0, const char** a1) {
     case SpanKind::kOutputCollect:
       *a0 = "vprocs";
       break;
+    case SpanKind::kRejoin:
+      *a0 = "procs";
+      *a1 = "record_bytes";
+      break;
+    case SpanKind::kRebalance:
+      *a0 = "migrations";
+      *a1 = "migration_bytes";
+      break;
     default:
       break;
   }
@@ -199,6 +207,18 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                    static_cast<unsigned long long>(
                        m.has_comm ? m.comm.bytes : 0));
     }
+  }
+
+  // Membership-epoch counter track: steps at run start and at every death
+  // or rejoin, aligned with the recovery/rejoin spans (empty without
+  // fail-over activity tracking).
+  for (const auto& e : tracer.membership_epoch_samples()) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"C\",\"name\":\"membership_epoch\",\"pid\":%u,"
+                 "\"tid\":0,\"ts\":%.3f,\"args\":{\"epoch\":%llu}}",
+                 tracer.engine_pid(), static_cast<double>(e.ns) / 1000.0,
+                 static_cast<unsigned long long>(e.epoch));
   }
 
   // Async executor queue-depth counter track, one per host running with

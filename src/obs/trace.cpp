@@ -40,6 +40,10 @@ const char* span_name(SpanKind k) {
       return "io_prefetch";
     case SpanKind::kIoDrain:
       return "io_drain";
+    case SpanKind::kRejoin:
+      return "rejoin";
+    case SpanKind::kRebalance:
+      return "rebalance";
   }
   return "unknown";
 }
@@ -64,10 +68,13 @@ const char* span_category(SpanKind k) {
     case SpanKind::kNetCollect:
     case SpanKind::kNetPair:
     case SpanKind::kHeartbeat:
+    case SpanKind::kRejoin:
       return "net";
     case SpanKind::kCommit:
     case SpanKind::kRecovery:
       return "ckpt";
+    case SpanKind::kRebalance:
+      return "engine";
   }
   return "engine";
 }
@@ -124,6 +131,12 @@ void Tracer::record_queue_depth(std::uint32_t host, std::size_t depth) {
 std::vector<DepthSample> Tracer::queue_depth_samples() const {
   std::lock_guard<std::mutex> lock(depth_mu_);
   return depth_samples_;
+}
+
+void Tracer::record_membership_epoch(std::uint64_t epoch) {
+  // Barrier-owned like the engine shard: membership only changes at
+  // superstep barriers, on the main thread, so no lock is needed.
+  epoch_samples_.push_back(EpochSample{now_ns(), epoch});
 }
 
 std::vector<Span> Tracer::merged() const {

@@ -51,6 +51,8 @@ enum class SpanKind : std::uint8_t {
   kOutputCollect,  ///< final context read-back into output slots
   kIoPrefetch,     ///< async submission of the next vproc's context + inbox
   kIoDrain,        ///< write-behind completion barrier at group end
+  kRejoin,         ///< rejoin handshake + checkpoint catch-up of a returner
+  kRebalance,      ///< store-group re-spread + migrations after a change
 };
 
 /// Stable lowercase span name ("context_read", ...), used by the Chrome
@@ -68,6 +70,14 @@ struct DepthSample {
   std::uint64_t ns = 0;
   std::uint32_t host = 0;
   std::uint32_t depth = 0;
+};
+
+/// One sample of the engine's membership epoch — recorded at run start and
+/// after every membership change (death or rejoin), so the counter track
+/// steps exactly where the trace's recovery/rejoin spans sit.
+struct EpochSample {
+  std::uint64_t ns = 0;
+  std::uint64_t epoch = 0;
 };
 
 struct Span {
@@ -158,12 +168,22 @@ class Tracer {
   /// Snapshot of the recorded queue-depth samples, in record order.
   std::vector<DepthSample> queue_depth_samples() const;
 
+  /// Record one membership-epoch sample (barrier thread only; the engine
+  /// calls this at run start and after each death or rejoin).
+  void record_membership_epoch(std::uint64_t epoch);
+
+  /// Snapshot of the recorded membership-epoch samples, in record order.
+  const std::vector<EpochSample>& membership_epoch_samples() const {
+    return epoch_samples_;
+  }
+
  private:
   std::uint32_t p_;
   std::vector<TraceShard> shards_;
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex depth_mu_;
   std::vector<DepthSample> depth_samples_;
+  std::vector<EpochSample> epoch_samples_;  ///< barrier-owned, no lock
 };
 
 /// RAII span. A null tracer (observability disabled) makes construction and

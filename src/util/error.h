@@ -29,6 +29,7 @@ enum class IoErrorKind {
   kCrash,       ///< injected fail-stop fault: the machine "died" mid-run
   kExhausted,   ///< a transient fault persisted past the retry budget
   kSystem,      ///< unrecoverable OS-level failure (open/pread/pwrite/...)
+  kConfig,      ///< invalid machine configuration, rejected before the run
 };
 
 inline const char* to_string(IoErrorKind k) {
@@ -43,6 +44,8 @@ inline const char* to_string(IoErrorKind k) {
       return "retries-exhausted";
     case IoErrorKind::kSystem:
       return "system";
+    case IoErrorKind::kConfig:
+      return "config";
   }
   return "unknown";
 }

@@ -568,3 +568,86 @@ TEST(Checkpoint, SingleCopyMatrixIncompatibleWithCheckpointing) {
   cfg.single_copy_matrix = true;
   EXPECT_THROW(cfg.validate(), Error);
 }
+
+// ----------------------------------------------- membership (rejoin) sweep --
+
+TEST(MembershipSweep, KillRejoinKillBitIdenticalAcrossModes) {
+  // Acceptance sweep for elastic membership: a p=4 sort where proc 1 dies
+  // mid-run, rejoins three supersteps later, and proc 2 dies after that.
+  // Every (use_threads, io_threads) mode must complete with output
+  // bit-identical to the clean run, and the whole membership history —
+  // fail-over and rejoin counts, epoch, per-step wire and I/O accounting —
+  // must be bit-identical across the modes themselves: the epoch-keyed
+  // fault-coin streams make kill -> rejoin -> kill execution-order free.
+  const auto keys = sort_keys_input(2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+
+  auto base_cfg = [](bool threads, std::uint32_t io_threads) {
+    cgm::MachineConfig cfg;
+    cfg.v = 8;
+    cfg.p = 4;
+    cfg.disk.num_disks = 4;
+    cfg.disk.block_bytes = 512;
+    cfg.checkpointing = true;
+    cfg.net.enabled = true;
+    cfg.use_threads = threads;
+    cfg.io_threads = io_threads;
+    return cfg;
+  };
+  em::EmEngine ref(base_cfg(false, 0));
+  const auto expected = ref.run(prog, keyed_inputs(8, keys));
+
+  struct Probe {
+    std::vector<cgm::PartitionSet> out;
+    std::uint64_t failovers = 0, rejoins = 0, epoch = 0;
+    bool returner_alive = false;
+    net::NetStats net;
+    std::vector<pdm::IoStats> io_per_step;
+    std::vector<cgm::StepComm> comm;
+  };
+  auto run_mode = [&](bool threads, std::uint32_t io_threads) {
+    auto cfg = base_cfg(threads, io_threads);
+    cfg.net.failover = true;
+    cfg.net.rejoin = true;
+    cfg.net.fault.fail_stops = {{1, 2}, {2, 7}};
+    cfg.net.fault.rejoins = {{1, 5}};
+    em::EmEngine e(cfg);
+    Probe pr;
+    pr.out = e.run(prog, keyed_inputs(8, keys));
+    const auto& r = e.last_result();
+    pr.failovers = r.failovers;
+    pr.rejoins = r.rejoins;
+    pr.epoch = e.membership_epoch();
+    pr.returner_alive = e.alive(1);
+    pr.net = r.net;
+    pr.io_per_step = r.io_per_step;
+    pr.comm = r.comm.steps;
+    return pr;
+  };
+
+  Probe base;
+  bool have_base = false;
+  for (bool threads : {false, true}) {
+    for (std::uint32_t io_threads : {0u, 2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " io_threads=" + std::to_string(io_threads));
+      auto pr = run_mode(threads, io_threads);
+      EXPECT_TRUE(same_outputs(expected, pr.out));
+      EXPECT_GE(pr.failovers, 1u);
+      EXPECT_EQ(pr.rejoins, 1u);
+      EXPECT_TRUE(pr.returner_alive);
+      EXPECT_GE(pr.epoch, 2u);  // at least the death and the rejoin
+      if (!have_base) {
+        base = std::move(pr);
+        have_base = true;
+        continue;
+      }
+      EXPECT_EQ(pr.failovers, base.failovers);
+      EXPECT_EQ(pr.rejoins, base.rejoins);
+      EXPECT_EQ(pr.epoch, base.epoch);
+      EXPECT_EQ(pr.net, base.net);
+      EXPECT_EQ(pr.io_per_step, base.io_per_step);
+      EXPECT_EQ(pr.comm, base.comm);
+    }
+  }
+}

@@ -421,6 +421,22 @@ KillRun run_with_kill(std::uint32_t v, std::uint32_t p,
     EXPECT_NE(e.group_host(victim), victim);
     EXPECT_TRUE(e.alive(e.group_host(victim)));
   }
+  // Membership invariant, kill fired or not: every store group is hosted by
+  // a live processor, and the greedy re-spread keeps the groups-per-live-
+  // host difference within one (no survivor drives two groups while another
+  // drives none).
+  std::vector<std::uint32_t> groups_on(p, 0);
+  for (std::uint32_t g = 0; g < p; ++g) {
+    EXPECT_TRUE(e.alive(e.group_host(g))) << "group " << g;
+    ++groups_on[e.group_host(g)];
+  }
+  std::uint32_t lo = p, hi = 0;
+  for (std::uint32_t h = 0; h < p; ++h) {
+    if (!e.alive(h)) continue;
+    lo = std::min(lo, groups_on[h]);
+    hi = std::max(hi, groups_on[h]);
+  }
+  EXPECT_LE(hi - lo, 1u) << "victim=" << victim << " step=" << step;
   return r;
 }
 
@@ -602,4 +618,269 @@ TEST(NetFailover, ConfigValidation) {
   EXPECT_NO_THROW(cfg.validate());
   cfg.fault_per_proc.resize(3);  // must match p
   EXPECT_THROW(cfg.validate(), Error);
+}
+
+// ------------------------------------------------------ rejoin handshake --
+
+TEST(Rejoin, InjectorScheduleKillRebootKill) {
+  // The membership schedule is step-driven and latest-event-wins: a reboot
+  // outdates an earlier kill, a later kill outdates the reboot.
+  net::NetFaultPlan plan;
+  plan.fail_stops = {{1, 2}, {1, 8}};
+  plan.rejoins = {{1, 5}};
+  net::LinkFaultInjector inj(2, plan);
+  inj.set_step(1);
+  EXPECT_FALSE(inj.fail_stopped(1));
+  EXPECT_FALSE(inj.rebooted(1));
+  inj.set_step(2);  // first kill fires: all traffic dies
+  EXPECT_TRUE(inj.fail_stopped(1));
+  EXPECT_FALSE(inj.rebooted(1));
+  EXPECT_TRUE(inj.on_transmit(1, 0, net::PacketType::kHeartbeat, 32).drop);
+  inj.set_step(5);  // the reboot outdates the kill: traffic flows again
+  EXPECT_FALSE(inj.fail_stopped(1));
+  EXPECT_TRUE(inj.rebooted(1));
+  EXPECT_FALSE(inj.on_transmit(1, 0, net::PacketType::kHeartbeat, 32).drop);
+  inj.set_step(8);  // the second kill outdates the reboot
+  EXPECT_TRUE(inj.fail_stopped(1));
+  EXPECT_FALSE(inj.rebooted(1));
+}
+
+TEST(Rejoin, KillAndRebootAtSameStepResolveDead) {
+  net::NetFaultPlan plan;
+  plan.fail_stops = {{0, 3}, {0, 6}};
+  plan.rejoins = {{0, 6}};
+  net::LinkFaultInjector inj(2, plan);
+  inj.set_step(6);
+  EXPECT_TRUE(inj.fail_stopped(0));
+  EXPECT_FALSE(inj.rebooted(0));
+}
+
+TEST(Rejoin, HandshakeDeterministicUnderLinkLoss) {
+  // The rejoin request/ack frames are heartbeat-class (net_fault.h): random
+  // link loss up to the engine's supported 10% must not change the candidate
+  // set — nor, in this traffic-free round, any wire counter at all.
+  std::vector<std::uint32_t> base_candidates;
+  net::NetStats base_stats;
+  bool have_base = false;
+  for (double loss : {0.0, 0.05, 0.10}) {
+    net::NetConfig cfg;
+    cfg.enabled = true;
+    cfg.fault.seed = 2024;
+    cfg.fault.drop_prob = loss;
+    cfg.fault.corrupt_prob = loss / 2;
+    cfg.fault.fail_stops = {{2, 1}};
+    cfg.fault.rejoins = {{2, 6}};
+    net::SimNetwork nw(4, cfg);
+    // Drive the detector until it declares the fail-stopped processor dead;
+    // before the scheduled reboot fires there is never a candidate.
+    std::vector<std::uint32_t> dead;
+    for (std::uint64_t step = 1; step <= 5 && dead.empty(); ++step) {
+      nw.set_step(step);
+      dead = nw.heartbeat_round(step);
+      EXPECT_TRUE(nw.rejoin_round(step, 0, 1).empty()) << "step " << step;
+    }
+    ASSERT_EQ(dead, (std::vector<std::uint32_t>{2})) << "loss " << loss;
+    // The reboot fires at step 6: the handshake produces the candidate.
+    nw.set_step(6);
+    EXPECT_TRUE(nw.heartbeat_round(6).empty());
+    const auto cand = nw.rejoin_round(6, 1, 3);
+    ASSERT_EQ(cand, (std::vector<std::uint32_t>{2})) << "loss " << loss;
+    EXPECT_GT(nw.stats().rejoin_requests, 0u);
+    EXPECT_GT(nw.stats().rejoin_acks, 0u);
+    if (!have_base) {
+      base_candidates = cand;
+      base_stats = nw.stats();
+      have_base = true;
+    } else {
+      EXPECT_EQ(cand, base_candidates) << "loss " << loss;
+      EXPECT_EQ(nw.stats(), base_stats) << "loss " << loss;
+    }
+  }
+}
+
+TEST(Rejoin, DuplicateRequestsAbsorbed) {
+  net::NetConfig cfg;
+  cfg.enabled = true;
+  cfg.fault.fail_stops = {{1, 1}};
+  cfg.fault.rejoins = {{1, 5}};
+  net::SimNetwork nw(3, cfg);
+  for (std::uint64_t step = 1; step <= 4; ++step) {
+    nw.set_step(step);
+    nw.heartbeat_round(step);
+  }
+  ASSERT_TRUE(nw.dead(1));
+  nw.set_step(5);
+  // The handshake is idempotent: until the engine re-admits the node, a
+  // duplicate request round returns the same candidate again.
+  const auto first = nw.rejoin_round(5, 2, 3);
+  const auto second = nw.rejoin_round(5, 2, 3);
+  ASSERT_EQ(first, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(second, first);
+  // Each round broadcast to both peers and both (live) peers acked.
+  EXPECT_EQ(nw.stats().rejoin_requests, 4u);
+  EXPECT_EQ(nw.stats().rejoin_acks, 4u);
+  // Re-admission consumes the candidacy...
+  nw.mark_alive(1);
+  EXPECT_FALSE(nw.dead(1));
+  EXPECT_TRUE(nw.rejoin_round(5, 3, 3).empty());
+  // ...and renews the detector lease: the next heartbeat round must not
+  // instantly re-declare the returner dead.
+  nw.set_step(6);
+  EXPECT_TRUE(nw.heartbeat_round(6).empty());
+}
+
+TEST(Rejoin, RacingSecondDeathYieldsToFailover) {
+  // Proc 1 dies early; its scheduled reboot fires at the same physical step
+  // at which proc 2 dies. Deaths take priority at the barrier: the second
+  // fail-over settles first and the returner is admitted at a later barrier
+  // — deterministically, with outputs bit-identical to the clean run, in
+  // both threading modes.
+  const auto keys = random_keys(606, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(net_cfg(8, 4));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+
+  std::uint64_t serial_failovers = 0, serial_rejoins = 0;
+  for (bool threads : {false, true}) {
+    auto cfg = net_cfg(8, 4, threads);
+    cfg.net.failover = true;
+    cfg.net.rejoin = true;
+    cfg.net.fault.fail_stops = {{1, 1}, {2, 4}};
+    cfg.net.fault.rejoins = {{1, 4}};
+    em::EmEngine e(cfg);
+    const auto got = e.run(prog, sort_inputs(8, keys));
+    EXPECT_TRUE(same_outputs(expected, got)) << "threads " << threads;
+    EXPECT_GE(e.last_result().failovers, 2u);
+    EXPECT_EQ(e.last_result().rejoins, 1u);
+    EXPECT_TRUE(e.alive(1));
+    EXPECT_FALSE(e.alive(2));
+    if (!threads) {
+      serial_failovers = e.last_result().failovers;
+      serial_rejoins = e.last_result().rejoins;
+    } else {
+      EXPECT_EQ(e.last_result().failovers, serial_failovers);
+      EXPECT_EQ(e.last_result().rejoins, serial_rejoins);
+    }
+  }
+}
+
+// ------------------------------------------------------------- rebalance --
+
+TEST(Rebalance, GreedySpreadAfterSequentialKills) {
+  // Two deaths, one after the other (p=4): each fail-over re-spreads ALL
+  // store groups with the deterministic greedy rule — live homes keep their
+  // own group, orphans go to the least-loaded survivor (group id ascending,
+  // ties to the lowest host), so the spread never exceeds one.
+  const auto keys = random_keys(808, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(net_cfg(8, 4));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+
+  auto cfg = net_cfg(8, 4);
+  cfg.net.failover = true;
+  cfg.net.fault.fail_stops = {{3, 2}, {1, 4}};
+  em::EmEngine e(cfg);
+  const auto got = e.run(prog, sort_inputs(8, keys));
+  EXPECT_TRUE(same_outputs(expected, got));
+  ASSERT_EQ(e.last_result().failovers, 2u);
+  // Live homes kept their groups; the orphans spread over both survivors:
+  // g1 to the least-loaded lowest host (0), then g3 to host 2.
+  EXPECT_EQ(e.group_host(0), 0u);
+  EXPECT_EQ(e.group_host(2), 2u);
+  EXPECT_EQ(e.group_host(1), 0u);
+  EXPECT_EQ(e.group_host(3), 2u);
+  // The second re-spread moved g3 between two LIVE survivors (0 -> 2): its
+  // committed record crossed the wire and was validated on arrival.
+  EXPECT_GE(e.last_result().net.rebalance_migrations, 3u);
+  EXPECT_GT(e.last_result().net.migration_bytes, 0u);
+}
+
+// ------------------------------------------------------------ membership --
+
+TEST(Membership, KillThenRejoinTakesGroupsHome) {
+  // The acceptance scenario: p=4 sort, one processor dies mid-run and
+  // rejoins three supersteps later. The run completes with output
+  // bit-identical to the clean run, the returner ends up back in the
+  // membership driving its own store group, and every membership change
+  // advanced the epoch exactly once.
+  const auto keys = random_keys(707, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(net_cfg(8, 4));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+
+  for (bool threads : {false, true}) {
+    auto cfg = net_cfg(8, 4, threads);
+    cfg.net.failover = true;
+    cfg.net.rejoin = true;
+    cfg.net.fault.fail_stops = {{1, 2}};
+    cfg.net.fault.rejoins = {{1, 5}};
+    em::EmEngine e(cfg);
+    const auto got = e.run(prog, sort_inputs(8, keys));
+    EXPECT_TRUE(same_outputs(expected, got)) << "threads " << threads;
+    ASSERT_EQ(e.last_result().failovers, 1u);
+    ASSERT_EQ(e.last_result().rejoins, 1u);
+    // The returner is back with its own group home again.
+    EXPECT_TRUE(e.alive(1));
+    EXPECT_EQ(e.group_host(1), 1u);
+    // One epoch per membership change: the death, then the rejoin.
+    EXPECT_EQ(e.membership_epoch(), 2u);
+    const auto& net = e.last_result().net;
+    EXPECT_GT(net.rejoin_requests, 0u);
+    EXPECT_GT(net.rejoin_acks, 0u);
+    // g1 moved away at the death (old host dead: disks hand over, 0 bytes)
+    // and moved home at the rejoin (old host live: record over the wire).
+    EXPECT_GE(net.rebalance_migrations, 2u);
+    EXPECT_GT(net.migration_bytes, 0u);
+  }
+}
+
+TEST(Membership, ConfigValidationTypedErrors) {
+  auto expect_config_error = [](const cgm::MachineConfig& cfg) {
+    try {
+      cfg.validate();
+      FAIL() << "expected IoError(kConfig)";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kConfig);
+    }
+  };
+  // rejoin rides on the fail-over machinery.
+  {
+    auto cfg = net_cfg(8, 2);
+    cfg.net.rejoin = true;
+    expect_config_error(cfg);
+    cfg.net.failover = true;
+    EXPECT_NO_THROW(cfg.validate());
+  }
+  // A zero miss threshold would declare every processor dead at the first
+  // heartbeat round.
+  {
+    auto cfg = net_cfg(8, 2);
+    cfg.net.failover = true;
+    cfg.net.heartbeat_miss_threshold = 0;
+    expect_config_error(cfg);
+  }
+  // A scheduled reboot needs a preceding fail-stop, and in-range procs.
+  {
+    auto cfg = net_cfg(8, 2);
+    cfg.net.failover = true;
+    cfg.net.rejoin = true;
+    cfg.net.fault.rejoins = {{1, 5}};
+    expect_config_error(cfg);  // never killed
+    cfg.net.fault.fail_stops = {{1, 5}};
+    expect_config_error(cfg);  // killed, but not strictly before the reboot
+    cfg.net.fault.fail_stops = {{1, 2}};
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.net.fault.rejoins = {{7, 5}};  // outside 0..p-1
+    expect_config_error(cfg);
+    cfg.net.fault.rejoins.clear();
+    cfg.net.fault.fail_stops = {{9, 2}};  // outside 0..p-1
+    expect_config_error(cfg);
+  }
+  // Async I/O workers need disks to serve.
+  {
+    auto cfg = net_cfg(8, 2);
+    cfg.io_threads = 2;
+    cfg.disk.num_disks = 0;
+    expect_config_error(cfg);
+  }
 }

@@ -25,12 +25,13 @@ SPAN_NAMES = {
     "superstep", "group_step", "context_read", "inbox_read", "compute",
     "outbox_write", "context_write", "net_post", "net_collect", "net_pair",
     "deliver", "commit", "recovery", "heartbeat", "output_collect",
-    "io_prefetch", "io_drain",
+    "io_prefetch", "io_drain", "rejoin", "rebalance",
 }
 # Required args keys per counter-track name.
 COUNTER_KEYS = {
     "pdm": ("io_ops", "wire_bytes", "comm_bytes"),
     "io_queue_depth": ("depth",),
+    "membership_epoch": ("epoch",),
 }
 SPAN_CATEGORIES = {"engine", "io", "compute", "net", "ckpt"}
 PHASES = {"compute", "regroup", "final", "output"}
