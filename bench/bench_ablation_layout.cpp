@@ -27,7 +27,7 @@ Probe run(cgm::MsgLayout layout, bool single_copy, std::size_t n,
   cfg.single_copy_matrix = single_copy;
   cfg.balanced_routing = true;  // gives the staggered matrix its size bound
   if (trace) trace->arm(cfg);
-  em::EmEngine engine(cfg);
+  em::EmEngine engine(checked(cfg));
 
   algo::SampleSortProgram<std::uint64_t> prog;
   auto keys = random_keys(9, n);

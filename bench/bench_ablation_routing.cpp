@@ -30,7 +30,7 @@ Probe run(bool balanced, cgm::MsgLayout layout, std::size_t slot_bytes,
   cfg.layout = layout;
   cfg.staggered_slot_bytes = slot_bytes;
   if (trace) trace->arm(cfg);
-  em::EmEngine engine(cfg);
+  em::EmEngine engine(checked(cfg));
 
   auto values = random_keys(1, n);
   std::vector<std::uint64_t> shift(n);

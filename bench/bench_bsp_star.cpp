@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     // The balanced native run is the traced one under --trace (the native
     // engine emits superstep/compute/deliver spans).
     if (balanced) trace.arm(cfg);
-    cgm::Machine m(cgm::EngineKind::kNative, cfg);
+    cgm::Machine m(cgm::EngineKind::kNative, checked(cfg));
     algo::sort_keys(m, keys);
     if (balanced) trace.write(m.engine());
     const auto& res = m.total();

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     cgm::MachineConfig cfg = standard_config(v, 1, 1, 64);
     const bool traced = n == (1u << 16);  // largest sweep point
     if (traced) trace.arm(cfg);
-    cgm::Machine m(cgm::EngineKind::kEm, cfg);
+    cgm::Machine m(cgm::EngineKind::kEm, checked(cfg));
     auto keys = random_keys(n, n);
     algo::sort_keys(m, keys);
     if (traced) trace.write(m.engine());

@@ -49,11 +49,12 @@ Probe run(bool checksums, bool checkpointing, double fault_prob,
           std::size_t n, std::uint32_t p_real = 1, double loss_prob = 0.0,
           bool net = false, bool threads = false,
           const TraceOption* trace = nullptr, std::uint64_t kill_step = 0,
-          bool rejoin = false) {
+          bool rejoin = false, bool invariants = false) {
   cgm::MachineConfig cfg = standard_config(8, p_real, 4, 2048);
   cfg.checksums = checksums;
   cfg.checkpointing = checkpointing;
   cfg.use_threads = threads;
+  cfg.chaos.invariants = invariants;
   if (fault_prob > 0) {
     cfg.fault.seed = 1234;
     cfg.fault.transient_read_prob = fault_prob;
@@ -81,7 +82,7 @@ Probe run(bool checksums, bool checkpointing, double fault_prob,
     }
   }
   if (trace) trace->arm(cfg);
-  em::EmEngine engine(cfg);
+  em::EmEngine engine(checked(cfg));
   algo::SampleSortProgram<std::uint64_t> prog;
   engine.run(prog, sort_inputs(8, n));
   if (trace) trace->write(engine);
@@ -179,6 +180,23 @@ int main(int argc, char** argv) {
     membership_rejoins = rej.rejoins;
     membership_migrations = rej.migrations;
     membership_bytes = rej.migration_bytes;
+  }
+  // Chaos invariant layer (watchdog, spread, exactly-once, commit
+  // monotonicity, executor drain): the checks live on superstep barriers and
+  // must not move a single counted op; the row shows what arming them costs
+  // in wall time on the checkpointed p=2 network machine.
+  {
+    const auto off = run(false, true, 0.0, n, 2, 0.0, true);
+    const auto inv = run(false, true, 0.0, n, 2, 0.0, true, false, nullptr,
+                         0, false, true);
+    if (inv.ops != off.ops) {
+      std::fprintf(stderr,
+                   "parallel I/O count moved under the invariant layer\n");
+      return 1;
+    }
+    t.row({"+ chaos invariant layer (p=2)", fmt_u(inv.ops),
+           fmt(inv.wall_s, 3), fmt_u(inv.tracks), "0", fmt_u(inv.rtx),
+           fmt_u(inv.wire), "-"});
   }
   // Thread-parallel host execution: serial vs threaded pairs at p=2 and
   // p=4 over the clean simulated network. The parallel I/O count must not

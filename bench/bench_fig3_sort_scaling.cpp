@@ -32,12 +32,12 @@ int main(int argc, char** argv) {
   for (std::size_t n : {1u << 14, 1u << 15, 1u << 16, 1u << 17, 1u << 18}) {
     auto keys = random_keys(42 + n, n);
 
-    cgm::Machine native(cgm::EngineKind::kNative, standard_config(v, 1, D, B));
+    cgm::Machine native(cgm::EngineKind::kNative, checked(standard_config(v, 1, D, B)));
     Timer tn;
     auto sorted_native = algo::sort_keys(native, keys);
     const double wall_native = tn.elapsed_s();
 
-    cgm::Machine em(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+    cgm::Machine em(cgm::EngineKind::kEm, checked(standard_config(v, 1, D, B)));
     Timer te;
     auto sorted_em = algo::sort_keys(em, keys);
     const double wall_em = te.elapsed_s();
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
         cfg.checkpointing = true;
         const bool traced = threads && p == 2;
         if (traced) trace.arm(cfg);
-        cgm::Machine em(cgm::EngineKind::kEm, cfg);
+        cgm::Machine em(cgm::EngineKind::kEm, checked(cfg));
         Timer tm;
         auto sorted = algo::sort_keys(em, keys);
         const double wall = tm.elapsed_s();

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   double base_time = 0;
   for (std::uint32_t D : {1u, 2u, 4u, 8u}) {
     auto cfg = standard_config(v, 1, D, B);
-    cgm::Machine em(cgm::EngineKind::kEm, cfg);
+    cgm::Machine em(cgm::EngineKind::kEm, checked(cfg));
     Timer ts;
     auto sorted_serial = algo::sort_keys(em, keys);
     const double wall_serial = ts.elapsed_s();
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     acfg.io_threads = D;
     const bool traced = D == 4;
     if (traced) trace.arm(acfg);
-    cgm::Machine ema(cgm::EngineKind::kEm, acfg);
+    cgm::Machine ema(cgm::EngineKind::kEm, checked(acfg));
     Timer ta;
     auto sorted_async = algo::sort_keys(ema, keys);
     const double wall_async = ta.elapsed_s();

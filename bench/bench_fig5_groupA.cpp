@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       auto cfg = standard_config(v, 1, D, B);
       const bool traced = n == (1u << 18);  // representative sort run
       if (traced) trace.arm(cfg);
-      cgm::Machine em(cgm::EngineKind::kEm, cfg);
+      cgm::Machine em(cgm::EngineKind::kEm, checked(cfg));
       algo::sort_keys(em, keys);
       if (traced) trace.write(em.engine());
       const auto cgm_ops = em.total().io.total_ops();
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
       auto values = random_keys(n + 1, n);
       auto perm = random_permutation(n + 2, n);
 
-      cgm::Machine em(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+      cgm::Machine em(cgm::EngineKind::kEm, checked(standard_config(v, 1, D, B)));
       auto dv = em.scatter<std::uint64_t>(values);
       auto dp = em.scatter<std::uint64_t>(perm);
       algo::permute<std::uint64_t>(em, dv, dp);
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
       std::vector<std::uint64_t> mat(n);
       for (std::size_t i = 0; i < n; ++i) mat[i] = i;
 
-      cgm::Machine em(cgm::EngineKind::kEm, standard_config(v, 1, D, B));
+      cgm::Machine em(cgm::EngineKind::kEm, checked(standard_config(v, 1, D, B)));
       auto dv = em.scatter<std::uint64_t>(mat);
       algo::transpose<std::uint64_t>(em, dv, r, c);
       const auto cgm_ops = em.total().io.total_ops();

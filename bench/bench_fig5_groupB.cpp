@@ -30,7 +30,7 @@ Probe run(std::uint32_t v, std::uint32_t D, std::size_t B, Fn&& fn,
           const TraceOption* trace = nullptr) {
   auto cfg = standard_config(v, 1, D, B);
   if (trace) trace->arm(cfg);
-  cgm::Machine m(cgm::EngineKind::kEm, cfg);
+  cgm::Machine m(cgm::EngineKind::kEm, checked(cfg));
   fn(m);
   if (trace) trace->write(m.engine());
   return Probe{m.total().io.total_ops(), m.total().app_rounds};

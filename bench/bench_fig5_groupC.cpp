@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       // Under --trace, the traced sweep's largest point is the traced run.
       const bool traced = traced_sweep && n == 40000u;
       if (traced) trace.arm(cfg);
-      cgm::Machine m(cgm::EngineKind::kEm, cfg);
+      cgm::Machine m(cgm::EngineKind::kEm, checked(cfg));
       runner(m, n);
       if (traced) trace.write(m.engine());
       const double stream = static_cast<double>(n) * rec_bytes / (D * B);

@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     auto cfg = standard_config(8, 1, 2, B);
     const bool traced = B == 8192u;  // the paper's B ~ 10^3-item knee
     if (traced) trace.arm(cfg);
-    cgm::Machine em(cgm::EngineKind::kEm, cfg);
+    cgm::Machine em(cgm::EngineKind::kEm, checked(cfg));
     algo::sort_keys(em, keys);
     if (traced) trace.write(em.engine());
     const auto& io = em.total().io;

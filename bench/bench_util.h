@@ -42,6 +42,21 @@ inline cgm::MachineConfig standard_config(std::uint32_t v, std::uint32_t p,
   return cfg;
 }
 
+/// Validate a machine config at the benchmark boundary. Every bench routes
+/// each config it is about to run through here, so an invalid knob combo
+/// (bad v/p ratio, quota list of the wrong length, unknown checkpoint
+/// version, ...) dies up front with the typed kConfig diagnostic instead of
+/// an uncaught exception out of an engine constructor mid-sweep.
+inline cgm::MachineConfig checked(cgm::MachineConfig cfg) {
+  try {
+    cfg.validate();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "invalid machine config: %s\n", e.what());
+    std::exit(2);
+  }
+  return cfg;
+}
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)

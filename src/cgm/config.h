@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos_config.h"
 #include "net/net_fault.h"
 #include "obs/obs_config.h"
 #include "pdm/backend.h"
@@ -114,6 +115,11 @@ struct MachineConfig {
   /// bit-identical — outputs and every stat counter — to a pre-obs build.
   obs::ObsConfig obs{};
 
+  /// Chaos harness (chaos/): runtime invariant layer, per-disk capacity
+  /// quotas, and the checkpoint-version write knob. Off by default; a
+  /// disabled run is bit-identical to a pre-chaos build.
+  chaos::ChaosConfig chaos{};
+
   /// Reject an invalid configuration up front with a typed
   /// IoError(kConfig) — called by both engines' constructors, so a bad
   /// machine never fails deep inside a run. (IoError derives from Error;
@@ -163,6 +169,15 @@ struct MachineConfig {
             "rejoin_at_step scheduled for a node never killed before that"
             " step: a reboot needs a preceding fail-stop");
     }
+    check(chaos.disk_quota_per_proc.empty() ||
+              chaos.disk_quota_per_proc.size() == p,
+          "chaos.disk_quota_per_proc must be empty or have exactly p entries");
+    check(chaos.ckpt_write_version == 0 || chaos.ckpt_write_version == 2 ||
+              chaos.ckpt_write_version == 3,
+          "chaos.ckpt_write_version must be 0 (current), 2, or 3");
+    check(!chaos.invariants || chaos.watchdog_steps >= 1,
+          "chaos.watchdog_steps == 0 would trip the no-progress watchdog on"
+          " the first superstep; need >= 1");
     check(file_roots.empty() || file_roots.size() == p,
           "file_roots must be empty or have exactly p entries");
     check(file_roots.empty() || backend == pdm::BackendKind::kFile,

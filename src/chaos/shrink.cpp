@@ -1,0 +1,68 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace emcgm::chaos {
+
+namespace {
+
+// Event list minus the chunk [chunk * len, (chunk + 1) * len).
+std::vector<ChaosEvent> without_chunk(const std::vector<ChaosEvent>& events,
+                                      std::size_t chunk, std::size_t len) {
+  std::vector<ChaosEvent> kept;
+  kept.reserve(events.size());
+  const std::size_t lo = chunk * len;
+  const std::size_t hi = std::min(events.size(), lo + len);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i < lo || i >= hi) kept.push_back(events[i]);
+  }
+  return kept;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ChaosPlan& failing, const FailPredicate& still_fails,
+                    std::uint32_t max_tests) {
+  ShrinkResult res;
+  res.plan = failing;
+  auto check = [&](const ChaosPlan& candidate) {
+    ++res.tests;
+    return still_fails(candidate);
+  };
+  if (!check(failing)) {
+    throw IoError(IoErrorKind::kConfig,
+                  "shrink() called with a plan that does not fail — the"
+                  " predicate must hold on the input");
+  }
+
+  std::size_t n = 2;  // granularity: chunks the current list is split into
+  while (res.plan.events.size() >= 2 && res.tests < max_tests) {
+    const std::size_t size = res.plan.events.size();
+    n = std::min(n, size);
+    const std::size_t len = (size + n - 1) / n;  // ceil
+    bool reduced = false;
+    for (std::size_t c = 0; c * len < size && res.tests < max_tests; ++c) {
+      ChaosPlan candidate;
+      candidate.seed = res.plan.seed;
+      candidate.events = without_chunk(res.plan.events, c, len);
+      if (candidate.events.size() == size) continue;
+      if (check(candidate)) {
+        // The complement still fails: keep it, coarsen one step (ddmin's
+        // "reduce to complement" rule), restart the scan.
+        res.plan = std::move(candidate);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= size) break;  // single-event granularity exhausted: 1-minimal
+      n = std::min(n * 2, size);
+    }
+  }
+  return res;
+}
+
+}  // namespace emcgm::chaos

@@ -1,0 +1,40 @@
+// Delta-debugging plan minimization (ddmin over the event list).
+//
+// A failing fuzz plan often carries a handful of events that have nothing to
+// do with the failure. shrink() reduces it to a 1-minimal plan — removing
+// any single remaining event no longer reproduces — by Zeller's ddmin over
+// complements: partition the event list into n chunks, try dropping each
+// chunk, keep any reduction that still fails, refine the granularity when
+// none does. Removal is sound because per-layer fault schedules are seeded
+// from the *plan* seed, never from event positions (see plan.h): dropping
+// one event does not change when the survivors fire.
+//
+// The caller supplies the failure predicate — typically "run_plan() on this
+// machine shape reports the same finding" — so the same machinery shrinks
+// divergences, invariant violations, and untyped failures alike.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "chaos/plan.h"
+
+namespace emcgm::chaos {
+
+/// Returns true when `plan` still reproduces the failure being minimized.
+/// Must be deterministic (a flaky predicate makes ddmin thrash).
+using FailPredicate = std::function<bool(const ChaosPlan&)>;
+
+struct ShrinkResult {
+  ChaosPlan plan;           ///< 1-minimal failing plan (or the budget's best)
+  std::uint32_t tests = 0;  ///< predicate evaluations spent
+};
+
+/// Minimize `failing` under `still_fails`. `failing` itself must satisfy the
+/// predicate (throws IoError(kConfig) otherwise — minimizing a non-failure
+/// is a harness bug, not a shrink). Stops early after `max_tests` predicate
+/// calls and returns the smallest failing plan found so far.
+ShrinkResult shrink(const ChaosPlan& failing, const FailPredicate& still_fails,
+                    std::uint32_t max_tests = 512);
+
+}  // namespace emcgm::chaos

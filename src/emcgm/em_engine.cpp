@@ -6,9 +6,11 @@
 #include <mutex>
 #include <numeric>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include "cgm/proc_ctx.h"
+#include "chaos/chaos_config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pdm/checksum.h"
@@ -134,6 +136,13 @@ struct EmEngine::RealProc {
                                      ? cfg.fault
                                      : cfg.fault_per_proc[index];
     disks = pdm::make_disk_array(cfg.backend, cfg.disk, dir, opts, plan);
+    // Capacity quota (chaos harness): applied at the innermost backend, so
+    // a write that would grow any of this machine's disks past the quota
+    // raises a typed IoError(kNoSpace).
+    const std::uint64_t quota = cfg.chaos.disk_quota_per_proc.empty()
+                                    ? cfg.chaos.disk_quota_bytes
+                                    : cfg.chaos.disk_quota_per_proc[index];
+    if (quota != 0) disks->set_quota_bytes(quota);
     ckpt[0].emplace(space, cfg.disk.num_disks);
     ckpt[1].emplace(space, cfg.disk.num_disks);
   }
@@ -176,6 +185,12 @@ pdm::DiskArray& EmEngine::disk_array(std::uint32_t real_proc) {
   return *procs_[real_proc]->disks;
 }
 
+void EmEngine::set_disk_quota_bytes(std::uint32_t real_proc,
+                                    std::uint64_t bytes) {
+  EMCGM_CHECK(real_proc < cfg_.p);
+  procs_[real_proc]->disks->set_quota_bytes(bytes);
+}
+
 void EmEngine::disarm_faults() {
   for (auto& rp : procs_) {
     if (auto* f = rp->disks->fault_injector()) f->disarm();
@@ -200,8 +215,31 @@ std::uint64_t EmEngine::checkpoint_round() const {
 // -------------------------------------------------------------- commit ----
 
 void EmEngine::commit(std::uint64_t round, Phase phase) {
+  if (cfg_.chaos.invariants && commit_.valid) {
+    // Commit boundaries must advance strictly: every commit follows a full
+    // phase, so even a post-fail-over replay lands past the restored mark.
+    const bool forward =
+        round > commit_.round ||
+        (round == commit_.round &&
+         static_cast<std::uint32_t>(phase) >
+             static_cast<std::uint32_t>(commit_.phase));
+    if (!forward) {
+      std::ostringstream os;
+      os << "commit boundary (round " << round << ", phase "
+         << static_cast<std::uint32_t>(phase)
+         << ") does not advance past the committed (round " << commit_.round
+         << ", phase " << static_cast<std::uint32_t>(commit_.phase) << ")";
+      throw chaos::InvariantViolation(chaos::Invariant::kCommitMonotonic,
+                                      os.str());
+    }
+  }
   const std::uint64_t seq = commit_.seq + 1;
   const int slot = static_cast<int>(seq % 2);
+  // Record version on the wire: current (v3) unless a test pinned the
+  // legacy v2 (pre-membership-epoch) framing to exercise the upgrade path.
+  const std::uint32_t wv = cfg_.chaos.ckpt_write_version == 0
+                               ? kCkptVersion
+                               : cfg_.chaos.ckpt_write_version;
   // Every store group commits — including those of a dead machine, whose
   // disks survive it (remounted by the adopting survivor). A fail-stop crash
   // of one machine's disks must not abort the others' records: collect the
@@ -221,11 +259,11 @@ void EmEngine::commit(std::uint64_t round, Phase phase) {
     try {
       WriteArchive ar;
       ar.put<std::uint32_t>(kCkptMagic);
-      ar.put<std::uint32_t>(kCkptVersion);
+      ar.put<std::uint32_t>(wv);
       ar.put<std::uint64_t>(seq);
       ar.put<std::uint64_t>(round);
       ar.put<std::uint32_t>(static_cast<std::uint32_t>(phase));
-      ar.put<std::uint64_t>(epoch_);
+      if (wv >= 3) ar.put<std::uint64_t>(epoch_);  // v2 predates the epoch
       for (std::uint32_t g2 = 0; g2 < cfg_.p; ++g2) {
         ar.put<std::uint32_t>(group_host_[g2]);
       }
@@ -294,7 +332,7 @@ void EmEngine::restore_from_commit() {
     ReadArchive ar(body);
     const auto magic = ar.get<std::uint32_t>();
     const auto version = ar.get<std::uint32_t>();
-    if (magic != kCkptMagic || version != kCkptVersion) {
+    if (magic != kCkptMagic || (version != 2 && version != kCkptVersion)) {
       throw IoError(IoErrorKind::kCorruption,
                     "commit record has bad magic/version");
     }
@@ -307,8 +345,10 @@ void EmEngine::restore_from_commit() {
     // Membership epoch (v3): the epoch under which the boundary was taken.
     // A fail-over bumps the epoch *before* restoring the record committed
     // under the old epoch, so the recorded value is a floor, not an
-    // equality.
-    const auto rec_epoch = ar.get<std::uint64_t>();
+    // equality. A v2 (pre-epoch) record upgrades as epoch 0 — whose
+    // fault-coin streams are exactly the pre-epoch streams, so a resumed v2
+    // run stays bit-identical.
+    const auto rec_epoch = version >= 3 ? ar.get<std::uint64_t>() : 0;
     EMCGM_CHECK_MSG(rec_epoch <= epoch_,
                     "commit record from a future membership epoch");
     // Ownership map (v2): who hosted each store group at this boundary. The
@@ -367,6 +407,49 @@ std::vector<std::uint32_t> EmEngine::rebalance_groups() const {
   return host;
 }
 
+void EmEngine::verify_spread() const {
+  if (!cfg_.chaos.invariants) return;
+  std::vector<std::uint32_t> load(cfg_.p, 0);
+  for (std::uint32_t g = 0; g < cfg_.p; ++g) {
+    const std::uint32_t h = group_host_[g];
+    if (h >= cfg_.p || !alive_[h]) {
+      throw chaos::InvariantViolation(
+          chaos::Invariant::kSpread,
+          "store group " + std::to_string(g) + " assigned to dead host " +
+              std::to_string(h));
+    }
+    ++load[h];
+  }
+  std::uint32_t lo = 0xFFFFFFFF, hi = 0;
+  for (std::uint32_t h = 0; h < cfg_.p; ++h) {
+    if (!alive_[h]) continue;
+    lo = std::min(lo, load[h]);
+    hi = std::max(hi, load[h]);
+  }
+  if (hi > lo + 1) {
+    std::ostringstream os;
+    os << "store-group spread over live hosts is " << (hi - lo)
+       << " (min load " << lo << ", max load " << hi << "); rebalance must"
+       << " keep it <= 1";
+    throw chaos::InvariantViolation(chaos::Invariant::kSpread, os.str());
+  }
+}
+
+void EmEngine::verify_drained(const char* where) const {
+  if (!cfg_.chaos.invariants) return;
+  for (std::uint32_t r = 0; r < cfg_.p; ++r) {
+    const std::uint64_t pending = procs_[r]->disks->in_flight();
+    if (pending != 0) {
+      std::ostringstream os;
+      os << "real processor " << r << " has " << pending
+         << " write-behind blocks in flight at " << where
+         << "; deferred I/O must never cross a superstep barrier";
+      throw chaos::InvariantViolation(chaos::Invariant::kExecutorDrain,
+                                      os.str());
+    }
+  }
+}
+
 std::vector<std::byte> EmEngine::read_commit_blob(std::uint32_t g) {
   auto& rp = *procs_[g];
   auto& ck = *rp.ckpt[static_cast<int>(commit_.seq % 2)];
@@ -393,7 +476,7 @@ void EmEngine::validate_commit_record(std::uint32_t g,
   ReadArchive ar(body);
   const auto magic = ar.get<std::uint32_t>();
   const auto version = ar.get<std::uint32_t>();
-  if (magic != kCkptMagic || version != kCkptVersion) {
+  if (magic != kCkptMagic || (version != 2 && version != kCkptVersion)) {
     throw IoError(IoErrorKind::kCorruption,
                   "migrated commit record has bad magic/version");
   }
@@ -491,6 +574,7 @@ std::uint64_t EmEngine::try_rejoin(std::uint64_t round,
   bump_epoch();
   const std::vector<std::uint32_t> old_host = group_host_;
   group_host_ = rebalance_groups();
+  verify_spread();
   net_->reset_links();
   const std::uint64_t record_bytes = migrate_groups(old_host, round);
   result.rejoins += candidates.size();
@@ -535,6 +619,7 @@ void EmEngine::failover(const std::vector<std::uint32_t>& dead_procs,
   bump_epoch();
   const std::vector<std::uint32_t> old_host = group_host_;
   group_host_ = rebalance_groups();
+  verify_spread();
 
   // Leftovers of the aborted superstep must not reach the replay.
   net_->reset_links();
@@ -1118,6 +1203,28 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         net_span.set_aux(delta.wire_bytes, delta.retransmissions);
       }
 
+      if (cfg_.chaos.invariants) {
+        // Exactly-once delivery: the crossing messages decoded out of the
+        // network (plus same-host staging) must equal, in count, the
+        // crossing messages the h-relation accounting saw at the source —
+        // a dropped-and-not-retransmitted or duplicated-and-not-deduped
+        // batch shows up here, at the barrier it corrupted.
+        std::uint64_t delivered = 0;
+        for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
+          for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
+            if (group_host_[src_g] == group_host_[dst_g]) continue;
+            delivered += batches[dst_g][src_g].size();
+          }
+        }
+        if (delivered != step.messages) {
+          std::ostringstream os;
+          os << "network delivered " << delivered
+             << " crossing messages but the sources posted " << step.messages;
+          throw chaos::InvariantViolation(chaos::Invariant::kExactlyOnce,
+                                          os.str());
+        }
+      }
+
       std::vector<std::uint32_t> crashed;
       std::exception_ptr cause;
       for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
@@ -1193,10 +1300,40 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
 
   const net::NetStats net_before = net_ ? net_->stats() : net::NetStats{};
 
+  // No-progress watchdog (cfg_.chaos.invariants): a high-water mark on the
+  // (round, phase) key. Every clean iteration ends by advancing round or
+  // phase, so the key moves strictly forward; only fail-over / rejoin
+  // replays legitimately revisit it, and their replay chains are bounded by
+  // the membership schedule. watchdog_steps consecutive iterations without
+  // a new high-water mark therefore means livelock, not recovery.
+  std::uint64_t wd_hw_round = 0;
+  std::uint32_t wd_hw_phase = 0;
+  bool wd_seen = false;
+  std::uint32_t wd_stall = 0;
+
   while (!all_done) {
     EMCGM_CHECK_MSG(round < kMaxRounds,
                     "program '" << program.name() << "' exceeded "
                                 << kMaxRounds << " rounds");
+    if (cfg_.chaos.invariants) {
+      const std::uint32_t ph = static_cast<std::uint32_t>(phase);
+      const bool advanced = !wd_seen || round > wd_hw_round ||
+                            (round == wd_hw_round && ph > wd_hw_phase);
+      if (advanced) {
+        wd_seen = true;
+        wd_hw_round = round;
+        wd_hw_phase = ph;
+        wd_stall = 0;
+      } else if (++wd_stall >= cfg_.chaos.watchdog_steps) {
+        std::ostringstream os;
+        os << "no superstep progress past (round " << wd_hw_round
+           << ", phase " << wd_hw_phase << ") for " << wd_stall
+           << " physical supersteps (watchdog_steps = "
+           << cfg_.chaos.watchdog_steps << ")";
+        throw chaos::InvariantViolation(chaos::Invariant::kWatchdog,
+                                        os.str());
+      }
+    }
     try {
       // Engine-shard backbone: one superstep span per physical step; child
       // barrier spans (heartbeat, net collect, commit) nest inside it.
@@ -1253,6 +1390,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
             net_->collect();
           }
           if (cfg_.checkpointing) commit(round, Phase::kDone);
+          verify_drained("the final barrier");
           record_step_io("final", false, round);
           ++phys_step_;
           break;
@@ -1260,6 +1398,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
 
         deliver_staged(outcomes);
         drain_arrival_writes();
+        verify_drained("the compute barrier");
         for (auto& rp : procs_) rp->messages->flip();
         const std::uint64_t ran_round = round;
         if (balanced) {
@@ -1276,6 +1415,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         });
         deliver_staged(regroup);
         drain_arrival_writes();
+        verify_drained("the regroup barrier");
         for (auto& rp : procs_) rp->messages->flip();
         const std::uint64_t ran_round = round;
         phase = Phase::kCompute;

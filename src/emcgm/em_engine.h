@@ -72,6 +72,12 @@ class EmEngine final : public cgm::Engine {
   /// tests and robustness benchmarks).
   pdm::DiskArray& disk_array(std::uint32_t real_proc);
 
+  /// Change one real processor's per-disk capacity quota (0 = unlimited) —
+  /// the "free some space" step after a run aborted with IoError(kNoSpace).
+  /// With checkpointing on, resume() then replays from the last committed
+  /// boundary to bit-identical output. Quotas count physical bytes.
+  void set_disk_quota_bytes(std::uint32_t real_proc, std::uint64_t bytes);
+
   /// Disarm every real processor's fault injector (no-op without one): the
   /// crashed machine is "rebooted" so resume() can make progress.
   void disarm_faults();
@@ -144,6 +150,18 @@ class EmEngine final : public cgm::Engine {
   /// move is free); orphans go to the least-loaded live host, group id
   /// ascending, ties to the lowest host id. Max-min load difference <= 1.
   std::vector<std::uint32_t> rebalance_groups() const;
+
+  /// Invariant layer (cfg.chaos.invariants): assert the current group_host_
+  /// map spreads the groups over the live hosts with max-min load <= 1.
+  /// Throws chaos::InvariantViolation(kSpread). No-op when invariants are
+  /// off.
+  void verify_spread() const;
+
+  /// Invariant layer: assert every real processor's async executor is idle
+  /// (no write-behind in flight) — called at superstep barriers, where a
+  /// leaked deferred write would cross a commit. Throws
+  /// chaos::InvariantViolation(kExecutorDrain). No-op when invariants off.
+  void verify_drained(const char* where) const;
 
   /// Read group g's record of the current committed boundary back off its
   /// own disks (the striped double-slot checkpoint area).

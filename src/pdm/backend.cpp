@@ -11,6 +11,18 @@
 
 namespace emcgm::pdm {
 
+void StorageBackend::ensure_space(std::uint32_t disk,
+                                  std::uint64_t track) const {
+  if (quota_ == 0) return;
+  const std::uint64_t need = (track + 1) * geom_.block_bytes;
+  if (need <= quota_) return;
+  if (track < tracks_used(disk)) return;  // overwrite, no growth
+  std::ostringstream os;
+  os << "disk " << disk << " full: materializing track " << track
+     << " needs " << need << " bytes, quota is " << quota_;
+  throw IoError(IoErrorKind::kNoSpace, os.str());
+}
+
 // ---------------------------------------------------------------- Memory --
 
 MemoryBackend::MemoryBackend(const DiskGeometry& geom)
@@ -37,6 +49,7 @@ void MemoryBackend::write_block(std::uint32_t disk, std::uint64_t track,
                                 std::span<const std::byte> data) {
   EMCGM_CHECK(disk < geom_.num_disks);
   EMCGM_CHECK(data.size() == geom_.block_bytes);
+  ensure_space(disk, track);
   auto& d = disks_[disk];
   const std::size_t off = track * geom_.block_bytes;
   if (off + geom_.block_bytes > d.size()) d.resize(off + geom_.block_bytes);
@@ -167,6 +180,7 @@ void FileBackend::write_block(std::uint32_t disk, std::uint64_t track,
                               std::span<const std::byte> data) {
   EMCGM_CHECK(disk < geom_.num_disks);
   EMCGM_CHECK(data.size() == geom_.block_bytes);
+  ensure_space(disk, track);
   const auto off = static_cast<off_t>(track * geom_.block_bytes);
   pwrite_full(fds_[disk], data.data(), data.size(), off);
 }

@@ -47,6 +47,18 @@ class StorageBackend {
   /// so a committed checkpoint survives the host, not just the process.
   virtual void sync() {}
 
+  /// Per-disk capacity quota in bytes (0 = unlimited, the default). A write
+  /// that would *materialize* a disk past the quota throws
+  /// IoError(kNoSpace) before touching the media; overwrites of tracks
+  /// already materialized always succeed, so lowering the quota under live
+  /// data never bricks it — and raising (or clearing) the quota makes the
+  /// refused writes succeed verbatim, which is what lets a checkpointed run
+  /// resume bit-identically after space is freed. Quotas count the bytes on
+  /// the media, i.e. the *physical* block size (checksum envelope included).
+  /// Decorators (FaultInjectingBackend) forward to the innermost store.
+  virtual void set_disk_quota_bytes(std::uint64_t quota) { quota_ = quota; }
+  virtual std::uint64_t disk_quota_bytes() const { return quota_; }
+
   const DiskGeometry& geometry() const { return geom_; }
 
  protected:
@@ -54,7 +66,15 @@ class StorageBackend {
     geom_.validate();
   }
 
+  /// Quota check for write paths: throws IoError(kNoSpace) when writing
+  /// `track` would grow `disk` beyond the quota (sparse semantics: writing
+  /// track t materializes every track below it too).
+  void ensure_space(std::uint32_t disk, std::uint64_t track) const;
+
   DiskGeometry geom_;
+
+ private:
+  std::uint64_t quota_ = 0;  ///< per-disk byte quota; 0 = unlimited
 };
 
 /// In-RAM backing store; tracks grow on demand.

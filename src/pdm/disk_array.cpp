@@ -241,6 +241,10 @@ void DiskArray::drain() const {
   if (exec_) exec_->drain(stats_);
 }
 
+std::uint64_t DiskArray::in_flight() const {
+  return exec_ ? exec_->in_flight_blocks() : 0;
+}
+
 std::uint64_t DiskArray::tracks_used() const {
   drain();
   std::uint64_t total = 0;

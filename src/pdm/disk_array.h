@@ -114,6 +114,22 @@ class DiskArray {
   /// True when the async executor is on (io_threads resolved to >= 1).
   bool async() const { return exec_ != nullptr; }
 
+  /// Blocks currently submitted but not yet reaped (0 in serial mode and at
+  /// every quiesce point). The chaos invariant layer asserts this is 0 at
+  /// superstep barriers — write-behind must never leak across a commit.
+  std::uint64_t in_flight() const;
+
+  /// Set the per-disk capacity quota in bytes (0 = unlimited); forwarded to
+  /// the backend, which enforces it on every materializing write with a
+  /// typed IoError(kNoSpace). Quotas count physical bytes (checksum
+  /// envelope included). Drains first so the quota change lands between
+  /// parallel ops, exactly as it would serially.
+  void set_quota_bytes(std::uint64_t quota) {
+    drain();
+    backend_->set_disk_quota_bytes(quota);
+  }
+  std::uint64_t quota_bytes() const { return backend_->disk_quota_bytes(); }
+
   /// Flush every completed write to durable storage (backend fsync; no-op
   /// for MemoryBackend). Counted in stats().fsyncs either way, so tests can
   /// assert the durability protocol without a real filesystem. Drains the

@@ -116,6 +116,15 @@ class FaultInjectingBackend final : public StorageBackend {
   void note_parallel_op() override;
   void sync() override { inner_->sync(); }
 
+  /// Capacity quotas are a property of the media, not the fault model:
+  /// forward to the innermost store, which enforces them.
+  void set_disk_quota_bytes(std::uint64_t quota) override {
+    inner_->set_disk_quota_bytes(quota);
+  }
+  std::uint64_t disk_quota_bytes() const override {
+    return inner_->disk_quota_bytes();
+  }
+
   const FaultPlan& plan() const { return plan_; }
 
   /// Merged view of the per-disk counter shards (canonical disk order, then

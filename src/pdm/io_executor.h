@@ -91,6 +91,13 @@ class IoExecutor {
     return static_cast<std::uint32_t>(queues_.size());
   }
 
+  /// Blocks submitted but not yet completed (snapshot under the completion
+  /// lock; exact at quiesce points).
+  std::uint64_t in_flight_blocks() const {
+    std::lock_guard<std::mutex> lk(done_mu_);
+    return pending_blocks_;
+  }
+
  private:
   struct Op {
     std::uint64_t seq = 0;
@@ -143,7 +150,7 @@ class IoExecutor {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::unique_ptr<DiskCounters>> disk_counters_;  ///< per disk
 
-  std::mutex done_mu_;
+  mutable std::mutex done_mu_;  ///< mutable: in_flight_blocks() is const
   std::condition_variable done_cv_;
   std::deque<std::unique_ptr<Op>> ops_;  ///< in-flight + unreaped, seq order
   std::uint64_t next_seq_ = 1;

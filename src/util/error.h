@@ -30,6 +30,9 @@ enum class IoErrorKind {
   kExhausted,   ///< a transient fault persisted past the retry budget
   kSystem,      ///< unrecoverable OS-level failure (open/pread/pwrite/...)
   kConfig,      ///< invalid machine configuration, rejected before the run
+  kNoSpace,     ///< a write would grow a disk past its byte quota; not
+                ///< retriable — the engine aborts to the last committed
+                ///< boundary and resume() succeeds once space is freed
 };
 
 inline const char* to_string(IoErrorKind k) {
@@ -46,6 +49,8 @@ inline const char* to_string(IoErrorKind k) {
       return "system";
     case IoErrorKind::kConfig:
       return "config";
+    case IoErrorKind::kNoSpace:
+      return "no-space";
   }
   return "unknown";
 }

@@ -1,0 +1,104 @@
+// Scratch directories for file-backend tests that cannot leak.
+//
+// The old pattern — per-PID directories under /tmp, removed in TearDown —
+// leaked on every aborted run: a failed ASSERT or a crash skips TearDown,
+// and nothing ever collected the orphans, so CI machines accumulated
+// /tmp/emcgm_test_* junk. Two-part fix:
+//
+//   * every scratch dir lives under one per-process root,
+//     /tmp/emcgm_tests_<pid>/, and ScopedTempDir removes its dir by RAII
+//     (destructors still run when a gtest assertion merely fails the test);
+//   * the first use in a process reaps stale roots: any
+//     /tmp/emcgm_tests_<pid> whose pid no longer exists (kill(pid, 0) ==
+//     ESRCH) belonged to a dead — typically abort()ed — test run and is
+//     removed wholesale. So even SIGABRT leaks survive at most until the
+//     next test run on the machine.
+//
+// Sibling ctest processes are safe: each has its own root, and the reaper
+// only touches roots whose owning process is gone.
+#pragma once
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace emcgm::test {
+
+namespace detail {
+
+inline void reap_stale_roots() {
+  namespace fs = std::filesystem;
+  const std::string prefix = "emcgm_tests_";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator("/tmp", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const char* digits = name.c_str() + prefix.size();
+    char* end = nullptr;
+    const long pid = std::strtol(digits, &end, 10);
+    if (end == digits || *end != '\0' || pid <= 0) continue;
+    if (pid == ::getpid()) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH) {
+      fs::remove_all(entry.path(), ec);  // owner is dead: orphaned scratch
+    }
+  }
+}
+
+}  // namespace detail
+
+/// This process's scratch root, created on first use; the same first use
+/// collects any dead process's leftovers.
+inline const std::string& temp_root() {
+  static const std::string root = [] {
+    detail::reap_stale_roots();
+    std::string r = "/tmp/emcgm_tests_" + std::to_string(::getpid());
+    std::filesystem::create_directories(r);
+    return r;
+  }();
+  return root;
+}
+
+/// One scratch directory under temp_root(), unique per construction even
+/// for equal tags, removed on destruction. Movable so fixtures can hold a
+/// vector of them; a moved-from instance owns (and removes) nothing.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) {
+    static std::atomic<int> next{0};
+    path_ = temp_root() + "/" + tag + "_" + std::to_string(next++);
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(ScopedTempDir&& o) noexcept : path_(std::move(o.path_)) {
+    o.path_.clear();
+  }
+  ScopedTempDir& operator=(ScopedTempDir&& o) noexcept {
+    if (this != &o) {
+      std::error_code ec;
+      if (!path_.empty()) std::filesystem::remove_all(path_, ec);
+      path_ = std::move(o.path_);
+      o.path_.clear();
+    }
+    return *this;
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace emcgm::test

@@ -3,7 +3,6 @@
 // checkpoint/recovery (kill the engine at/inside every compound superstep of
 // a multi-round sort, resume(), and demand bit-identical output).
 #include <gtest/gtest.h>
-#include <unistd.h>
 
 #include <cstring>
 #include <numeric>
@@ -11,6 +10,7 @@
 #include <tuple>
 
 #include "algo/sort.h"
+#include "scoped_temp_dir.h"
 #include "emcgm/em_engine.h"
 #include "pdm/checksum.h"
 #include "pdm/disk_array.h"
@@ -334,16 +334,14 @@ class CheckpointSweep
     cfg.backend = std::get<0>(GetParam());
     cfg.io_threads = std::get<1>(GetParam());
     if (cfg.backend == pdm::BackendKind::kFile) {
-      // getpid: ctest -j runs sibling parameterizations of this binary as
-      // separate processes whose counters would otherwise collide in /tmp.
-      cfg.file_dir = "/tmp/emcgm_test_sweep_" + std::to_string(::getpid()) +
-                     "_" + std::to_string(next_dir_++);
+      dirs_.emplace_back("sweep");
+      cfg.file_dir = dirs_.back().path();
     }
     return cfg;
   }
 
  private:
-  static inline int next_dir_ = 0;
+  std::vector<test::ScopedTempDir> dirs_;
 };
 
 TEST_P(CheckpointSweep, ResumeAfterEverySuperstepBoundary) {
@@ -506,9 +504,11 @@ TEST(Checkpoint, ResumeWithMultipleRealProcessors) {
 }
 
 TEST(Checkpoint, ResumeOnFileBackend) {
+  test::ScopedTempDir ref_dir("ckpt_file");
+  test::ScopedTempDir crash_dir("ckpt_file");
   auto cfg = ckpt_cfg();
   cfg.backend = pdm::BackendKind::kFile;
-  cfg.file_dir = "/tmp/emcgm_test_ckpt_file";
+  cfg.file_dir = ref_dir.path();
   const auto keys = sort_keys_input(400);
   algo::SampleSortProgram<std::uint64_t> prog;
 
@@ -516,7 +516,7 @@ TEST(Checkpoint, ResumeOnFileBackend) {
   const auto expected = ref.run(prog, keyed_inputs(4, keys));
 
   auto crash_cfg = cfg;
-  crash_cfg.file_dir = "/tmp/emcgm_test_ckpt_file2";
+  crash_cfg.file_dir = crash_dir.path();
   crash_cfg.fault.crash_after_ops = 40;
   em::EmEngine e(crash_cfg);
   bool crashed = false;

@@ -6,14 +6,13 @@
 // file path is held to the same contract — including sparse reads, statistics
 // and the checksummed-envelope geometry.
 #include <gtest/gtest.h>
-#include <unistd.h>
 
-#include <atomic>
 #include <filesystem>
 #include <string>
 #include <tuple>
 
 #include "pdm/backend.h"
+#include "scoped_temp_dir.h"
 #include "pdm/checksum.h"
 #include "pdm/cost_model.h"
 #include "pdm/disk_array.h"
@@ -49,27 +48,19 @@ class BackendSuite
                                   DiskArrayOptions opts = {}) {
     std::string dir;
     if (std::get<0>(GetParam()) == BackendKind::kFile) {
-      // Unique per process *and* per array: ctest -j runs sibling
-      // parameterizations of this binary concurrently, and a shared
-      // directory would let one test's remove_all race another's live
-      // backend files.
-      static std::atomic<int> next_dir{0};
-      dir = "/tmp/emcgm_test_pdm_param_" + std::to_string(::getpid()) + "_" +
-            std::to_string(next_dir++);
-      dirs_.push_back(dir);
-      std::filesystem::remove_all(dir);
+      // Unique per array (sibling parameterizations of this binary run
+      // concurrently under ctest -j) and reaped even if an assertion
+      // aborts the process: see scoped_temp_dir.h.
+      dirs_.emplace_back("pdm_param");
+      dir = dirs_.back().path();
     }
     opts.io_threads = io_threads();
     return make_disk_array(std::get<0>(GetParam()), DiskGeometry{D, B}, dir,
                            opts);
   }
 
-  void TearDown() override {
-    for (const auto& d : dirs_) std::filesystem::remove_all(d);
-  }
-
  private:
-  std::vector<std::string> dirs_;
+  std::vector<test::ScopedTempDir> dirs_;
 };
 
 INSTANTIATE_TEST_SUITE_P(
@@ -255,8 +246,8 @@ TEST(Striping, RegionsDoNotOverlap) {
 }
 
 TEST(FileBackend, RoundTripAndCleanup) {
-  const std::string dir = "/tmp/emcgm_test_backend";
-  std::filesystem::remove_all(dir);
+  test::ScopedTempDir scratch("backend");
+  const std::string& dir = scratch.path();
   {
     DiskArray a(std::make_unique<FileBackend>(DiskGeometry{2, 128}, dir));
     auto data = pattern(128, 9);
@@ -274,7 +265,6 @@ TEST(FileBackend, RoundTripAndCleanup) {
   }
   // Destructor unlinks the disk files.
   EXPECT_FALSE(std::filesystem::exists(dir + "/disk0.bin"));
-  std::filesystem::remove_all(dir);
 }
 
 TEST(CostModel, MonotoneAndSaturating) {

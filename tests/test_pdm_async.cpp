@@ -16,6 +16,7 @@
 
 #include "algo/sort.h"
 #include "emcgm/em_engine.h"
+#include "scoped_temp_dir.h"
 #include "pdm/disk_array.h"
 #include "pdm/fault.h"
 #include "pdm/striping.h"
@@ -335,6 +336,32 @@ TEST(PdmAsync, EngineBitIdenticalAcrossIoThreadsSingleCopyMatrix) {
   const auto serial = run_engine(cfg, 0);
   for (std::uint32_t T : {2u, 4u}) {
     expect_same(serial, run_engine(cfg, T),
+                ("io_threads=" + std::to_string(T)).c_str());
+  }
+}
+
+TEST(PdmAsync, EngineBitIdenticalAcrossIoThreadsFileBackend) {
+  // Same chained workload against real pread/pwrite files: the async
+  // executor must be invisible on persisted bytes too, not just on the
+  // counting backend.
+  cgm::MachineConfig cfg;
+  cfg.v = 4;
+  cfg.p = 1;
+  cfg.disk.num_disks = 4;
+  cfg.disk.block_bytes = 128;
+  cfg.layout = cgm::MsgLayout::kChained;
+  cfg.checksums = true;
+  cfg.backend = pdm::BackendKind::kFile;
+  cfg.seed = 7;
+  std::vector<test::ScopedTempDir> dirs;
+  auto with_dir = [&](cgm::MachineConfig c) {
+    dirs.emplace_back("async_file");
+    c.file_dir = dirs.back().path();
+    return c;
+  };
+  const auto serial = run_engine(with_dir(cfg), 0);
+  for (std::uint32_t T : {2u, 4u}) {
+    expect_same(serial, run_engine(with_dir(cfg), T),
                 ("io_threads=" + std::to_string(T)).c_str());
   }
 }
