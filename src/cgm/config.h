@@ -154,6 +154,10 @@ struct MachineConfig {
     check(!net.rejoin || net.failover,
           "net.rejoin re-admits processors through the fail-over machinery;"
           " enable net.failover");
+    check(net.schedule == routing::ScheduleKind::kDirect || p == 1 ||
+              net.enabled,
+          "a non-direct collective schedule routes through the simulated"
+          " network; enable net.enabled");
     for (const net::NodeEvent& e : net.fault.fail_stops) {
       check(e.proc < p, "fail_stops names a processor outside 0..p-1");
     }

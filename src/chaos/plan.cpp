@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "pdm/fault.h"
+#include "routing/schedule.h"
 
 namespace emcgm::chaos {
 
@@ -41,7 +42,7 @@ constexpr ChaosEvent::Kind kAllKinds[] = {
     ChaosEvent::Kind::kLinkDup,       ChaosEvent::Kind::kLinkCorrupt,
     ChaosEvent::Kind::kLinkReorder,   ChaosEvent::Kind::kLinkDelay,
     ChaosEvent::Kind::kKill,          ChaosEvent::Kind::kRejoin,
-    ChaosEvent::Kind::kDiskQuota,
+    ChaosEvent::Kind::kDiskQuota,     ChaosEvent::Kind::kSchedule,
 };
 
 }  // namespace
@@ -62,6 +63,7 @@ const char* to_string(ChaosEvent::Kind kind) {
     case K::kKill:           return "kill";
     case K::kRejoin:         return "rejoin";
     case K::kDiskQuota:      return "disk-quota";
+    case K::kSchedule:       return "schedule";
   }
   return "unknown";
 }
@@ -71,12 +73,20 @@ const char* to_string(ChaosEvent::Kind kind) {
 void ChaosPlan::apply(cgm::MachineConfig& cfg) const {
   const std::uint32_t p = cfg.p;
   for (const ChaosEvent& e : events) {
-    const bool machine_wide = is_link_kind(e.kind);
+    const bool machine_wide =
+        is_link_kind(e.kind) || e.kind == ChaosEvent::Kind::kSchedule;
     if (!machine_wide && e.proc >= p) {
       throw IoError(IoErrorKind::kConfig,
                     std::string("chaos event '") + to_string(e.kind) +
                         "' names real processor " + std::to_string(e.proc) +
                         " on a p=" + std::to_string(p) + " machine");
+    }
+    if (e.kind == ChaosEvent::Kind::kSchedule &&
+        e.value > static_cast<std::uint64_t>(
+                      routing::ScheduleKind::kHyperSystolic)) {
+      throw IoError(IoErrorKind::kConfig,
+                    "chaos event 'schedule' names collective schedule index " +
+                        std::to_string(e.value) + "; known kinds are 0..3");
     }
   }
 
@@ -131,7 +141,8 @@ void ChaosPlan::apply(cgm::MachineConfig& cfg) const {
   bool any_net = false;
   for (const ChaosEvent& e : events) {
     if (!is_link_kind(e.kind) && e.kind != ChaosEvent::Kind::kKill &&
-        e.kind != ChaosEvent::Kind::kRejoin) {
+        e.kind != ChaosEvent::Kind::kRejoin &&
+        e.kind != ChaosEvent::Kind::kSchedule) {
       continue;
     }
     any_net = true;
@@ -176,6 +187,12 @@ void ChaosPlan::apply(cgm::MachineConfig& cfg) const {
         }
         break;
       }
+      case ChaosEvent::Kind::kSchedule:
+        // Non-direct routing rides the simulated network, so a schedule
+        // event flips the net surface on like the link kinds do. Later
+        // events win, matching how a JSON repro reads top to bottom.
+        cfg.net.schedule = static_cast<routing::ScheduleKind>(e.value);
+        break;
       default:
         break;
     }
@@ -341,6 +358,7 @@ ChaosPlan ChaosPlan::generate(std::uint64_t seed, const PlanShape& shape) {
                                K::kLinkReorder, K::kLinkDelay});
     if (shape.allow_kill) kinds.push_back(K::kKill);
     if (shape.allow_rejoin) kinds.push_back(K::kRejoin);
+    if (shape.allow_schedule) kinds.push_back(K::kSchedule);
   }
 
   const std::uint64_t draws = 1 + below(std::max(1u, shape.max_events));
@@ -389,6 +407,9 @@ ChaosPlan ChaosPlan::generate(std::uint64_t seed, const PlanShape& shape) {
         e.proc = static_cast<std::uint32_t>(below(shape.p));
         e.value = shape.quota_min_bytes +
                   below(shape.quota_max_bytes - shape.quota_min_bytes + 1);
+        break;
+      case K::kSchedule:
+        e.value = below(4);  // uniform over the ScheduleKind indices
         break;
     }
     plan.events.push_back(e);

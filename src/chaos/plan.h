@@ -30,7 +30,8 @@ namespace emcgm::chaos {
 /// events target real processor `proc` and use `value` as the per-disk op
 /// trigger; link events are machine-wide and use `prob`; membership events
 /// use `proc` + `value` (the physical superstep); a quota event uses `proc`
-/// + `value` (the per-disk byte quota).
+/// + `value` (the per-disk byte quota); a schedule event is machine-wide and
+/// uses `value` as the routing::ScheduleKind index.
 struct ChaosEvent {
   enum class Kind : std::uint32_t {
     kTransientRead,   ///< proc's Nth per-disk read fails (value = N)
@@ -46,6 +47,7 @@ struct ChaosEvent {
     kKill,            ///< processor `proc` fail-stops at step `value`
     kRejoin,          ///< processor `proc` reboots at step `value`
     kDiskQuota,       ///< proc's disks capped at `value` bytes each
+    kSchedule,        ///< run under collective schedule `value` (0..3)
   };
 
   Kind kind = Kind::kTransientRead;
@@ -74,6 +76,10 @@ struct PlanShape {
   bool allow_disk_crash = true;  ///< kDiskCrash events (need checkpointing)
   bool allow_kill = true;        ///< kKill events (need net.failover, p > 1)
   bool allow_rejoin = true;      ///< kKill+kRejoin pairs (need net.rejoin)
+  /// kSchedule events: run the plan under a drawn collective schedule
+  /// (p > 1). Off by default so pre-existing seeded campaigns replay the
+  /// exact event streams they always drew.
+  bool allow_schedule = false;
 };
 
 /// A composed, seeded, serializable fault schedule.

@@ -375,6 +375,24 @@ void EmEngine::bump_epoch() {
   ++epoch_;
   if (net_) net_->set_epoch(epoch_);
   if (tracer_) tracer_->record_membership_epoch(epoch_);
+  rebuild_schedule();
+}
+
+void EmEngine::rebuild_schedule() {
+  if (!net_ || cfg_.net.schedule == routing::ScheduleKind::kDirect) {
+    sched_.reset();
+    return;
+  }
+  std::vector<std::uint32_t> hosts;
+  for (std::uint32_t q = 0; q < cfg_.p; ++q) {
+    if (alive_[q]) hosts.push_back(q);
+  }
+  sched_ = routing::make_schedule(
+      cfg_.net.schedule, cfg_.p, hosts,
+      routing::machines_from_roots(cfg_.p, cfg_.file_roots));
+  // Safety net: every derived schedule must pass the model checker before
+  // the engine routes a byte through it. Throws typed IoError(kConfig).
+  routing::verify_schedule(*sched_);
 }
 
 std::vector<std::uint32_t> EmEngine::rebalance_groups() const {
@@ -610,7 +628,27 @@ void EmEngine::failover(const std::vector<std::uint32_t>& dead_procs,
 
   std::uint32_t live = 0;
   for (char a : alive_) live += a ? 1 : 0;
-  if (live == 0) unrecoverable("no surviving real processor");
+  if (live == 0) {
+    // Total wipe-out: every real processor died in the same superstep, so
+    // there is no survivor to degrade onto — the run aborts typed. But a
+    // committed boundary exists (checked above) and commit records always
+    // live on each group's *original* disks, so the machine is left in the
+    // same shape a fresh run would find: everybody nominally alive, groups
+    // home, links reset. A caller that repairs the fault (disarm_faults /
+    // quota bump) can then resume() from the intact checkpoint to
+    // bit-identical output; one whose fault plan re-kills the replay gets
+    // the same typed failure again. Identical under every collective
+    // schedule: rebuild_schedule() (via bump_epoch) re-derives over the
+    // full host set.
+    for (std::uint32_t q = 0; q < cfg_.p; ++q) {
+      alive_[q] = 1;
+      net_->mark_alive(q);
+    }
+    std::iota(group_host_.begin(), group_host_.end(), 0u);
+    bump_epoch();
+    net_->reset_links();
+    unrecoverable("no surviving real processor");
+  }
 
   // Membership changed: new epoch (fresh, independent fault-coin streams on
   // every link) and a full deterministic re-spread of the store groups over
@@ -654,9 +692,11 @@ std::vector<cgm::PartitionSet> EmEngine::run(
   net_.reset();
   if (cfg_.net.enabled && p > 1) {
     net_ = std::make_unique<net::SimNetwork>(p, cfg_.net);
+    net_->set_machine_map(routing::machines_from_roots(p, cfg_.file_roots));
     if (tracer_) net_->set_tracer(tracer_.get());
     if (tracer_) tracer_->record_membership_epoch(0);
   }
+  rebuild_schedule();
 
   pdm::IoStats io_before;
   for (auto& rp : procs_) io_before += rp->disks->stats();
@@ -775,6 +815,12 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
   const std::uint32_t p = cfg_.p;
   const std::uint32_t nloc = nlocal();
   const bool balanced = cfg_.balanced_routing;
+  // Non-direct collective schedule: crossing batches do not travel during
+  // compute — they are bundled per (host, host) flow at the barrier and
+  // routed through one verified mailbox round per schedule step
+  // (deliver_staged). The direct path below is byte-for-byte unchanged.
+  const bool sched_path =
+      net_ && cfg_.net.schedule != routing::ScheduleKind::kDirect;
   cgm::RunResult result;
 
   // Declared ahead of the phase lambdas so spans can tag the application
@@ -1056,9 +1102,11 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
       for (std::uint32_t g = 0; g < p; ++g) {
         if (group_host_[g] != host) continue;
         fn(g, outcomes[g]);
-        if (net_ && !outcomes[g].error) post_group(host, g, outcomes[g]);
+        if (net_ && !sched_path && !outcomes[g].error) {
+          post_group(host, g, outcomes[g]);
+        }
       }
-      if (net_) net_->finish_sender(host);
+      if (net_ && !sched_path) net_->finish_sender(host);
     };
     std::vector<std::uint32_t> hosts;
     for (std::uint32_t h = 0; h < p; ++h) {
@@ -1149,7 +1197,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
           batches[dst_g][src_g] = std::move(batch);
         }
       }
-      if (net_) {
+      if (net_ && !sched_path) {
         obs::SpanScope net_span(tr, eshard, obs::SpanKind::kNetCollect, epid,
                                 0, -1, -1, phys_step_, round);
         std::vector<std::vector<net::Delivery>> inboxes;
@@ -1182,6 +1230,134 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
               EMCGM_CHECK_MSG(
                   src_g < p && dst_g < p && group_host_[dst_g] == h,
                   "network delivery misrouted");
+              const auto count = ar.get<std::uint64_t>();
+              auto& batch = batches[dst_g][src_g];
+              EMCGM_CHECK_MSG(batch.empty(),
+                              "duplicate network batch delivered");
+              batch.reserve(static_cast<std::size_t>(count));
+              for (std::uint64_t k = 0; k < count; ++k) {
+                cgm::Message m;
+                m.src = ar.get<std::uint32_t>();
+                m.dst = ar.get<std::uint32_t>();
+                m.payload = ar.get_bytes();
+                batch.push_back(std::move(m));
+              }
+            }
+          }
+        }
+        const net::NetStats delta = net_->stats() - net_mark;
+        step.wire_bytes = delta.wire_bytes;
+        step.retransmissions = delta.retransmissions;
+        net_span.set_aux(delta.wire_bytes, delta.retransmissions);
+      } else if (net_) {
+        // Non-direct collective schedule: execute the verified plan
+        // literally. Each crossing (src_g, dst_g) batch record is bundled
+        // into its (orig host, fin host) *flow* — records appended src_g
+        // then dst_g ascending, so every flow's byte stream is canonical —
+        // and flows move whole, one hop per schedule step, each step one
+        // store-and-forward mailbox round through the same reliable
+        // protocol as the direct path. The verifier proved exactly-once
+        // delivery and balance on this plan, so after the last step every
+        // flow sits at its fin host (checked again below, byte-level).
+        obs::SpanScope net_span(tr, eshard, obs::SpanKind::kNetCollect, epid,
+                                0, -1, -1, phys_step_, round);
+        const routing::CommSchedule& sched = *sched_;
+        std::vector<std::vector<std::vector<std::byte>>> flow(
+            p, std::vector<std::vector<std::byte>>(p));
+        for (std::uint32_t src_g = 0; src_g < p; ++src_g) {
+          for (std::uint32_t dst_g = 0; dst_g < p; ++dst_g) {
+            const auto& batch = outcomes[src_g].by_owner[dst_g];
+            if (batch.empty()) continue;
+            const std::uint32_t hs = group_host_[src_g];
+            const std::uint32_t hd = group_host_[dst_g];
+            if (hs == hd) continue;  // staged directly above
+            WriteArchive ar;
+            ar.put<std::uint32_t>(src_g);
+            ar.put<std::uint32_t>(dst_g);
+            ar.put<std::uint64_t>(batch.size());
+            for (const auto& m : batch) {
+              ar.put<std::uint32_t>(m.src);
+              ar.put<std::uint32_t>(m.dst);
+              ar.put_bytes(m.payload);
+            }
+            const auto bytes = ar.take();
+            auto& f = flow[hs][hd];
+            f.insert(f.end(), bytes.begin(), bytes.end());
+          }
+        }
+        for (std::size_t si = 0; si < sched.steps.size(); ++si) {
+          const routing::ScheduleStep& stp = sched.steps[si];
+          obs::SpanScope step_span(tr, eshard, obs::SpanKind::kSchedStep,
+                                   epid, static_cast<std::uint32_t>(si), -1,
+                                   -1, phys_step_, round);
+          net_->begin_round();
+          std::uint64_t posted_bytes = 0, posted_transfers = 0;
+          for (const routing::Transfer& t : stp.transfers) {
+            // Envelope stream of this link: every non-empty flow the plan
+            // moves over it, as (orig, fin, payload) records. Flows with no
+            // bytes this superstep travel as nothing at all.
+            WriteArchive ar;
+            for (const routing::Flow& fl : t.flows) {
+              auto& payload = flow[fl.first][fl.second];
+              if (payload.empty()) continue;
+              ar.put<std::uint32_t>(fl.first);
+              ar.put<std::uint32_t>(fl.second);
+              ar.put_bytes(payload);
+              payload.clear();
+            }
+            if (ar.size() == 0) continue;
+            posted_bytes += ar.size();
+            posted_transfers += 1;
+            net_->post(t.src, t.dst, ar.take());
+          }
+          for (std::uint32_t h = 0; h < p; ++h) {
+            if (alive_[h]) net_->finish_sender(h);
+          }
+          std::vector<std::vector<net::Delivery>> inboxes;
+          try {
+            inboxes = net_->collect();
+          } catch (const net::NetError&) {
+            auto dead = net_->probe_dead();
+            if (!dead.empty() && cfg_.net.failover) {
+              throw DeadProcsError{std::move(dead),
+                                   std::current_exception()};
+            }
+            throw;
+          }
+          for (std::uint32_t h = 0; h < p; ++h) {
+            std::vector<std::vector<std::byte>> stream_from(p);
+            for (auto& d : inboxes[h]) {
+              auto& s = stream_from[d.src];
+              s.insert(s.end(), d.payload.begin(), d.payload.end());
+            }
+            for (std::uint32_t hs = 0; hs < p; ++hs) {
+              if (stream_from[hs].empty()) continue;
+              ReadArchive ar(stream_from[hs]);
+              while (!ar.exhausted()) {
+                const auto o = ar.get<std::uint32_t>();
+                const auto f = ar.get<std::uint32_t>();
+                EMCGM_CHECK_MSG(o < p && f < p,
+                                "schedule envelope names a bad flow");
+                auto payload = ar.get_bytes();
+                EMCGM_CHECK_MSG(!payload.empty() && flow[o][f].empty(),
+                                "schedule flow duplicated in transit");
+                flow[o][f] = std::move(payload);
+              }
+            }
+          }
+          step_span.set_aux(posted_bytes, posted_transfers);
+        }
+        for (std::uint32_t o = 0; o < p; ++o) {
+          for (std::uint32_t f = 0; f < p; ++f) {
+            if (flow[o][f].empty()) continue;
+            ReadArchive ar(flow[o][f]);
+            while (!ar.exhausted()) {
+              const auto src_g = ar.get<std::uint32_t>();
+              const auto dst_g = ar.get<std::uint32_t>();
+              EMCGM_CHECK_MSG(src_g < p && dst_g < p &&
+                                  group_host_[src_g] == o &&
+                                  group_host_[dst_g] == f,
+                              "scheduled delivery misrouted");
               const auto count = ar.get<std::uint64_t>();
               auto& batch = batches[dst_g][src_g];
               EMCGM_CHECK_MSG(batch.empty(),
@@ -1362,7 +1538,8 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
       if (phase == Phase::kCompute) {
         // Open the superstep's mailbox round: hosts post crossing batches
         // as their groups finish; deliver_staged collects at the barrier.
-        if (net_) net_->begin_round();
+        // A non-direct schedule opens its rounds at the barrier instead.
+        if (net_ && !sched_path) net_->begin_round();
         auto outcomes = run_phase([&](std::uint32_t r, ProcOutcome& o) {
           simulate_real_proc(r, o);
         });
@@ -1383,8 +1560,9 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         for (auto& rp : procs_) rp->contexts->flip();
         if (all_done) {
           // A final round sends nothing (enforced above), so the open
-          // mailbox round is empty — close it without a delivery pass.
-          if (net_) {
+          // mailbox round is empty — close it without a delivery pass. The
+          // scheduled path never opened one (and would run zero-byte steps).
+          if (net_ && !sched_path) {
             obs::SpanScope net_span(tr, eshard, obs::SpanKind::kNetCollect,
                                     epid, 0, -1, -1, phys_step_, round);
             net_->collect();
@@ -1409,7 +1587,7 @@ std::vector<cgm::PartitionSet> EmEngine::run_loop(
         if (cfg_.checkpointing) commit(round, phase);
         record_step_io("compute", true, ran_round);
       } else {
-        if (net_) net_->begin_round();
+        if (net_ && !sched_path) net_->begin_round();
         auto regroup = run_phase([&](std::uint32_t r, ProcOutcome& o) {
           regroup_real_proc(r, o);
         });

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "net/sim_network.h"
 #include "pdm/cost_model.h"
 #include "pdm/disk_array.h"
+#include "routing/schedule.h"
 
 namespace emcgm::em {
 
@@ -102,6 +104,13 @@ class EmEngine final : public cgm::Engine {
   /// p == 1). Exposes wire statistics beyond last_result().net.
   const net::SimNetwork* network() const { return net_.get(); }
 
+  /// The verified collective schedule the current run routes its superstep
+  /// communication through, or nullptr (direct schedule, net disabled, or
+  /// p == 1). Re-derived and re-verified on every membership epoch.
+  const routing::CommSchedule* schedule() const {
+    return sched_ ? &*sched_ : nullptr;
+  }
+
   const obs::Tracer* tracer() const override { return tracer_.get(); }
   const obs::MetricsRegistry* metrics() const override {
     return metrics_.get();
@@ -144,6 +153,12 @@ class EmEngine final : public cgm::Engine {
   /// Advance the membership epoch: fresh fault-coin streams on every link
   /// and one membership_epoch counter sample in the trace.
   void bump_epoch();
+
+  /// Re-derive and re-verify the collective schedule over the current live
+  /// host set (no-op under kDirect / no network). Called at run start and on
+  /// every membership epoch; a schedule the verifier rejects aborts with
+  /// typed IoError(kConfig) before any byte moves.
+  void rebuild_schedule();
 
   /// Deterministic greedy spread of the store groups over the live hosts:
   /// groups whose home host is alive go home (their disks are there, the
@@ -203,6 +218,9 @@ class EmEngine final : public cgm::Engine {
   // them. Disk layout never moves — only the executing host changes, which
   // is why degraded-mode outputs are bit-identical.
   std::unique_ptr<net::SimNetwork> net_;
+  /// Verified collective schedule of the current membership epoch; engaged
+  /// iff net_ is live and cfg_.net.schedule != kDirect (rebuild_schedule).
+  std::optional<routing::CommSchedule> sched_;
   std::vector<std::uint32_t> group_host_;
   std::vector<char> alive_;
   std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock

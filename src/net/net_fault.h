@@ -27,6 +27,7 @@
 
 #include "net/packet.h"
 #include "pdm/fault.h"
+#include "routing/schedule.h"
 
 namespace emcgm::net {
 
@@ -105,6 +106,13 @@ struct NetConfig {
   /// committed checkpoint, and re-balances the store groups (requires
   /// failover, hence checkpointing).
   bool rejoin = false;
+  /// Collective schedule of the superstep communication round. kDirect is
+  /// the overlapped one-step all-to-all (today's behavior); the others run
+  /// the round as verified multi-hop mailbox rounds at the barrier —
+  /// bit-identical output, different wire shape (routing/schedule.h). The
+  /// engine derives, verifies (typed kConfig on any violation), and
+  /// re-derives the schedule on every membership epoch.
+  routing::ScheduleKind schedule = routing::ScheduleKind::kDirect;
 };
 
 /// What the injector decided for one wire transmission.

@@ -30,6 +30,13 @@ struct NetStats {
   std::uint64_t acks_sent = 0;        ///< cumulative-ack frames transmitted
   std::uint64_t heartbeats_sent = 0;  ///< liveness beacons transmitted
   std::uint64_t wire_bytes = 0;       ///< framed bytes offered to the links
+  /// Subset of wire_bytes whose link crosses a machine boundary of the
+  /// host->machine map (SimNetwork::set_machine_map; derived from
+  /// cfg.file_roots). Zero under the default identity map is impossible —
+  /// identity makes every link crossing — so the counter is only
+  /// interesting on multi-root layouts, where aggregating schedules shrink
+  /// it (fewer crossing frames/acks/headers for the same delivered payload).
+  std::uint64_t crossing_wire_bytes = 0;
 
   // Injector verdicts applied to transmissions.
   std::uint64_t dropped = 0;     ///< frames destroyed in flight (or fail-stop)
@@ -62,6 +69,7 @@ struct NetStats {
     acks_sent += o.acks_sent;
     heartbeats_sent += o.heartbeats_sent;
     wire_bytes += o.wire_bytes;
+    crossing_wire_bytes += o.crossing_wire_bytes;
     dropped += o.dropped;
     duplicated += o.duplicated;
     corrupted += o.corrupted;
@@ -87,6 +95,7 @@ struct NetStats {
     acks_sent -= o.acks_sent;
     heartbeats_sent -= o.heartbeats_sent;
     wire_bytes -= o.wire_bytes;
+    crossing_wire_bytes -= o.crossing_wire_bytes;
     dropped -= o.dropped;
     duplicated -= o.duplicated;
     corrupted -= o.corrupted;

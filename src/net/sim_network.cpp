@@ -50,6 +50,7 @@ SimNetwork::SimNetwork(std::uint32_t p, NetConfig cfg)
     : p_(p),
       cfg_(cfg),
       injector_(p, cfg.fault),
+      machine_(p),
       dead_(p, 0),
       links_(static_cast<std::size_t>(p) * p),
       mail_(static_cast<std::size_t>(p) * p),
@@ -59,6 +60,15 @@ SimNetwork::SimNetwork(std::uint32_t p, NetConfig cfg)
       last_seen_(p, 0) {
   EMCGM_CHECK(p >= 1);
   EMCGM_CHECK(cfg_.retry.max_attempts >= 1);
+  for (std::uint32_t q = 0; q < p_; ++q) machine_[q] = q;
+}
+
+void SimNetwork::set_machine_map(std::vector<std::uint32_t> machines) {
+  EMCGM_CHECK_MSG(!round_active(),
+                  "set_machine_map during an open mailbox round");
+  EMCGM_CHECK_MSG(machines.size() == p_,
+                  "machine map must name all " << p_ << " processors");
+  machine_ = std::move(machines);
 }
 
 SimNetwork::~SimNetwork() {
@@ -132,6 +142,7 @@ std::vector<std::uint32_t> SimNetwork::rejoin_round(
       req.seq = step;
       ++stats_.rejoin_requests;
       stats_.wire_bytes += kPacketHeaderBytes;
+      if (crossing(q, h)) stats_.crossing_wire_bytes += kPacketHeaderBytes;
       const LinkVerdict v = injector_.on_transmit(
           q, h, PacketType::kRejoinReq, kPacketHeaderBytes);
       if (v.drop || dead_[h]) {
@@ -150,6 +161,7 @@ std::vector<std::uint32_t> SimNetwork::rejoin_round(
       const std::size_t ack_bytes = kPacketHeaderBytes + ack.payload.size();
       ++stats_.rejoin_acks;
       stats_.wire_bytes += ack_bytes;
+      if (crossing(h, q)) stats_.crossing_wire_bytes += ack_bytes;
       const LinkVerdict va =
           injector_.on_transmit(h, q, PacketType::kRejoinAck, ack_bytes);
       if (va.drop) {
@@ -220,6 +232,9 @@ void SimNetwork::run_pair(std::uint32_t lo, std::uint32_t hi,
         break;
     }
     out.stats.wire_bytes += frame.size();
+    if (crossing(pkt.src, pkt.dst)) {
+      out.stats.crossing_wire_bytes += frame.size();
+    }
 
     const LinkVerdict v =
         injector_.on_transmit(pkt.src, pkt.dst, pkt.type, frame.size());
@@ -653,6 +668,7 @@ std::vector<std::uint32_t> SimNetwork::heartbeat_round(std::uint64_t step) {
         if (j == i || dead_[j]) continue;
         ++stats_.heartbeats_sent;
         stats_.wire_bytes += kPacketHeaderBytes;
+        if (crossing(i, j)) stats_.crossing_wire_bytes += kPacketHeaderBytes;
         const LinkVerdict v = injector_.on_transmit(
             i, j, PacketType::kHeartbeat, kPacketHeaderBytes);
         if (v.drop) {

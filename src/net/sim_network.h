@@ -112,6 +112,13 @@ class SimNetwork {
   /// see LinkFaultInjector::set_epoch for the determinism argument.
   void set_epoch(std::uint64_t epoch) { injector_.set_epoch(epoch); }
 
+  /// Install the host->machine placement used for crossing-wire accounting
+  /// (NetStats::crossing_wire_bytes): a frame's bytes count as crossing iff
+  /// its endpoints' machine ids differ. Engine-side, derived from
+  /// cfg.file_roots (routing::machines_from_roots); the default is the
+  /// identity map. Must not be called while a mailbox round is open.
+  void set_machine_map(std::vector<std::uint32_t> machines);
+
   /// Attach a phase tracer (obs subsystem; nullptr = off, the default).
   /// Pair simulations then record their own wall-clock window — captured by
   /// whichever thread owns the pair, race-free — and the collector publishes
@@ -285,9 +292,16 @@ class SimNetwork {
   void run_pair_slot(std::uint32_t lo, std::uint32_t hi,
                      std::unique_lock<std::mutex>& lk);
 
+  /// True iff the link a -> b crosses a machine boundary. Read-only during
+  /// rounds, so pair threads may consult it without locking.
+  bool crossing(std::uint32_t a, std::uint32_t b) const {
+    return machine_[a] != machine_[b];
+  }
+
   std::uint32_t p_;
   NetConfig cfg_;
   LinkFaultInjector injector_;
+  std::vector<std::uint32_t> machine_;  ///< host -> machine id (identity def.)
   std::vector<char> dead_;
   std::vector<LinkState> links_;
   NetStats stats_;

@@ -72,6 +72,10 @@ void aux_names(SpanKind k, const char** a0, const char** a1) {
       *a0 = "migrations";
       *a1 = "migration_bytes";
       break;
+    case SpanKind::kSchedStep:
+      *a0 = "posted_bytes";
+      *a1 = "transfers";
+      break;
     default:
       break;
   }

@@ -44,6 +44,8 @@ const char* span_name(SpanKind k) {
       return "rejoin";
     case SpanKind::kRebalance:
       return "rebalance";
+    case SpanKind::kSchedStep:
+      return "sched_step";
   }
   return "unknown";
 }
@@ -69,6 +71,7 @@ const char* span_category(SpanKind k) {
     case SpanKind::kNetPair:
     case SpanKind::kHeartbeat:
     case SpanKind::kRejoin:
+    case SpanKind::kSchedStep:
       return "net";
     case SpanKind::kCommit:
     case SpanKind::kRecovery:

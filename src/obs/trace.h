@@ -53,6 +53,7 @@ enum class SpanKind : std::uint8_t {
   kIoDrain,        ///< write-behind completion barrier at group end
   kRejoin,         ///< rejoin handshake + checkpoint catch-up of a returner
   kRebalance,      ///< store-group re-spread + migrations after a change
+  kSchedStep,      ///< one mailbox round of a non-direct collective schedule
 };
 
 /// Stable lowercase span name ("context_read", ...), used by the Chrome

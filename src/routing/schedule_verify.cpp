@@ -1,0 +1,211 @@
+// The schedule verifier: a small model checker over flow locations.
+//
+// A schedule is an explicit data structure, so its safety properties can be
+// decided exactly before the engine moves a byte: simulate every flow's
+// location step by step and reject any schedule that breaks the delivery or
+// balance contract. Soundness rests on the engine's store-and-forward
+// executing *literally* the verified plan: a flow moves iff a transfer
+// lists it, whole, one hop per step, so the simulation here and the bytes
+// at run time cannot disagree (DESIGN.md §15).
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "routing/schedule.h"
+#include "util/error.h"
+
+namespace emcgm::routing {
+
+namespace {
+
+[[noreturn]] void reject(const CommSchedule& s, const std::string& what) {
+  throw IoError(IoErrorKind::kConfig,
+                std::string("schedule verifier (") + to_string(s.kind) +
+                    "): " + what);
+}
+
+std::string flow_name(const Flow& f) {
+  std::string s("(");
+  s += std::to_string(f.first);
+  s += " -> ";
+  s += std::to_string(f.second);
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+BalanceReport verify_schedule(const CommSchedule& s,
+                              const WeightMatrix& weights) {
+  if (s.p == 0) reject(s, "empty machine");
+  if (weights.size() != s.p) {
+    reject(s, "weight matrix must be p x p");
+  }
+  for (const auto& row : weights) {
+    if (row.size() != s.p) reject(s, "weight matrix must be p x p");
+  }
+  std::vector<char> live(s.p, 0);
+  for (std::size_t i = 0; i < s.hosts.size(); ++i) {
+    const std::uint32_t h = s.hosts[i];
+    if (h >= s.p) reject(s, "live host " + std::to_string(h) + " out of range");
+    if (i > 0 && s.hosts[i] <= s.hosts[i - 1]) {
+      reject(s, "live hosts must be ascending and unique");
+    }
+    live[h] = 1;
+  }
+  for (std::uint32_t o = 0; o < s.p; ++o) {
+    for (std::uint32_t f = 0; f < s.p; ++f) {
+      if (weights[o][f] != 0 && (!live[o] || !live[f] || o == f)) {
+        reject(s, "weight on a dead or degenerate pair " + flow_name({o, f}));
+      }
+    }
+  }
+  // Termination, part 1: the step list must be finite and small. Every
+  // built-in is O(n) steps; 4 * (n + 1) leaves headroom for hand-written
+  // schedules without admitting unbounded ones.
+  if (s.steps.size() > 4 * (s.hosts.size() + 1)) {
+    reject(s, "step count " + std::to_string(s.steps.size()) +
+                  " exceeds the termination bound 4 * (live hosts + 1)");
+  }
+
+  // The h-relation parameter of this weight matrix: the largest per-host
+  // total sent or received weight. The balance contract is per-step weight
+  // <= slack * h.
+  std::uint64_t h_rel = 0;
+  {
+    std::vector<std::uint64_t> sent(s.p, 0), recv(s.p, 0);
+    for (std::uint32_t o = 0; o < s.p; ++o) {
+      for (std::uint32_t f = 0; f < s.p; ++f) {
+        sent[o] += weights[o][f];
+        recv[f] += weights[o][f];
+      }
+    }
+    for (std::uint32_t q = 0; q < s.p; ++q) {
+      h_rel = std::max({h_rel, sent[q], recv[q]});
+    }
+  }
+
+  BalanceReport report;
+  report.steps = s.steps.size();
+  report.h = h_rel;
+
+  // loc[o][f]: where flow (o, f) currently sits; kNowhere until it exists.
+  constexpr std::uint32_t kArrivedMark = 0xFFFFFFFF;
+  std::vector<std::vector<std::uint32_t>> loc(
+      s.p, std::vector<std::uint32_t>(s.p, 0));
+  for (std::uint32_t o = 0; o < s.p; ++o) {
+    for (std::uint32_t f = 0; f < s.p; ++f) loc[o][f] = o;
+  }
+
+  for (std::size_t si = 0; si < s.steps.size(); ++si) {
+    const ScheduleStep& step = s.steps[si];
+    const std::string at = " (step " + std::to_string(si) + ")";
+    std::map<std::uint32_t, std::uint32_t> out_deg, in_deg;
+    std::map<std::uint32_t, std::uint64_t> sent_w, recv_w;
+    // Flows claimed this step, to detect a flow listed by two transfers
+    // (which the engine would execute as a duplicated byte stream).
+    std::vector<std::vector<char>> claimed(s.p,
+                                           std::vector<char>(s.p, 0));
+    struct Move {
+      std::uint32_t o, f, dst;
+    };
+    std::vector<Move> moves;
+    for (const Transfer& t : step.transfers) {
+      if (t.src >= s.p || t.dst >= s.p || !live[t.src] || !live[t.dst]) {
+        reject(s, "transfer endpoint out of the live host set" + at);
+      }
+      if (t.src == t.dst) {
+        reject(s, "self-send on host " + std::to_string(t.src) + at);
+      }
+      if (t.flows.empty()) {
+        reject(s, "transfer " + std::to_string(t.src) + " -> " +
+                      std::to_string(t.dst) + " carries no flows" + at);
+      }
+      report.transfers += 1;
+      report.max_degree = std::max(report.max_degree, ++out_deg[t.src]);
+      report.max_degree = std::max(report.max_degree, ++in_deg[t.dst]);
+      for (const Flow& fl : t.flows) {
+        const auto [o, f] = fl;
+        if (o >= s.p || f >= s.p || !live[o] || !live[f] || o == f) {
+          reject(s, "flow " + flow_name(fl) +
+                        " is not a live ordered pair" + at);
+        }
+        if (claimed[o][f]) {
+          reject(s, "flow " + flow_name(fl) +
+                        " claimed by two transfers in one step" + at);
+        }
+        claimed[o][f] = 1;
+        if (loc[o][f] == kArrivedMark) {
+          reject(s, "flow " + flow_name(fl) +
+                        " moved again after delivery (duplicate)" + at);
+        }
+        if (loc[o][f] != t.src) {
+          reject(s, "transfer from " + std::to_string(t.src) +
+                        " claims flow " + flow_name(fl) + " held at " +
+                        std::to_string(loc[o][f]) + at);
+        }
+        const std::uint64_t w = weights[o][f];
+        sent_w[t.src] += w;
+        recv_w[t.dst] += w;
+        if (t.src != o) report.relay_weight += w;
+        moves.push_back({o, f, t.dst});
+      }
+    }
+    if (report.max_degree > s.max_degree) {
+      reject(s, "per-host transfer degree " +
+                    std::to_string(report.max_degree) +
+                    " exceeds the declared max_degree " +
+                    std::to_string(s.max_degree) + at);
+    }
+    for (const auto& [host, w] : sent_w) {
+      report.max_step_sent = std::max(report.max_step_sent, w);
+      if (static_cast<double>(w) > s.slack * static_cast<double>(h_rel)) {
+        std::ostringstream os;
+        os << "host " << host << " sends " << w << " > slack " << s.slack
+           << " x h " << h_rel << at;
+        reject(s, os.str());
+      }
+    }
+    for (const auto& [host, w] : recv_w) {
+      report.max_step_recv = std::max(report.max_step_recv, w);
+      if (static_cast<double>(w) > s.slack * static_cast<double>(h_rel)) {
+        std::ostringstream os;
+        os << "host " << host << " receives " << w << " > slack " << s.slack
+           << " x h " << h_rel << at;
+        reject(s, os.str());
+      }
+    }
+    // All transfers within a step are concurrent: apply the moves after
+    // checking them all, so a two-hop relay within one step is impossible.
+    for (const Move& mv : moves) {
+      loc[mv.o][mv.f] = mv.dst == mv.f ? kArrivedMark : mv.dst;
+    }
+  }
+
+  // Exactly-once, part 2 (and termination, part 2): every live ordered pair
+  // must have arrived — a flow never delivered is a dropped pair, a flow
+  // parked at an intermediate host is an unterminated route.
+  for (std::uint32_t o = 0; o < s.p; ++o) {
+    for (std::uint32_t f = 0; f < s.p; ++f) {
+      if (!live[o] || !live[f] || o == f) continue;
+      if (loc[o][f] != kArrivedMark) {
+        reject(s, "pair " + flow_name({o, f}) + " never delivered (parked at " +
+                      std::to_string(loc[o][f]) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+BalanceReport verify_schedule(const CommSchedule& s) {
+  if (s.p == 0) reject(s, "empty machine");
+  WeightMatrix uniform(s.p, std::vector<std::uint64_t>(s.p, 0));
+  for (std::uint32_t o : s.hosts) {
+    for (std::uint32_t f : s.hosts) {
+      if (o != f) uniform[o][f] = 1;
+    }
+  }
+  return verify_schedule(s, uniform);
+}
+
+}  // namespace emcgm::routing

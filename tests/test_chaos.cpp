@@ -3,8 +3,9 @@
 // JSON repro format, the seeded plan fuzzer, and the ddmin shrinker.
 //
 // The suite names matter: CI's TSan job selects tests by regex, and
-// `Chaos|NoSpace|Watchdog` pulls these in so the invariant layer and the
-// quota paths also run under the race detector.
+// `Chaos|NoSpace|Watchdog|Schedule` pulls these in so the invariant layer,
+// the quota paths, and the collective-schedule events also run under the
+// race detector.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -19,6 +20,7 @@
 #include "emcgm/em_engine.h"
 #include "pdm/backend.h"
 #include "pdm/disk_array.h"
+#include "routing/schedule.h"
 #include "util/math.h"
 #include "util/rng.h"
 
@@ -536,4 +538,111 @@ TEST(ChaosCkptCompat, FailoverAndRejoinValidateV2Records) {
   const auto got = e.run(prog, inputs);
   EXPECT_TRUE(same_outputs(expected, got));
   EXPECT_GT(e.last_result().rejoins, 0u);
+}
+
+// ------------------------------------------------- schedule chaos events --
+
+TEST(ChaosSchedule, ApplyLowersScheduleEventAndForcesNet) {
+  ChaosPlan plan;
+  plan.seed = 9;
+  plan.events = {{ChaosEvent::Kind::kSchedule, 0, 2, 0.0}};
+  cgm::MachineConfig cfg;
+  cfg.v = 8;
+  cfg.p = 2;
+  plan.apply(cfg);
+  EXPECT_EQ(cfg.net.schedule, routing::ScheduleKind::kTree);
+  EXPECT_TRUE(cfg.net.enabled);
+  cfg.validate();
+
+  // Later events win, matching how a JSON repro reads top to bottom.
+  ChaosPlan two;
+  two.seed = 10;
+  two.events = {{ChaosEvent::Kind::kSchedule, 0, 1, 0.0},
+                {ChaosEvent::Kind::kSchedule, 0, 3, 0.0}};
+  cgm::MachineConfig cfg2;
+  cfg2.v = 8;
+  cfg2.p = 2;
+  two.apply(cfg2);
+  EXPECT_EQ(cfg2.net.schedule, routing::ScheduleKind::kHyperSystolic);
+}
+
+TEST(ChaosSchedule, ApplyRejectsUnknownScheduleIndex) {
+  ChaosPlan plan;
+  plan.seed = 11;
+  plan.events = {{ChaosEvent::Kind::kSchedule, 0, 4, 0.0}};
+  // Rejected typed even on shapes where the event would otherwise be inert.
+  for (std::uint32_t p : {1u, 2u}) {
+    cgm::MachineConfig cfg;
+    cfg.v = 8;
+    cfg.p = p;
+    try {
+      plan.apply(cfg);
+      FAIL() << "accepted schedule index 4 on p=" << p;
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.kind(), IoErrorKind::kConfig);
+    }
+  }
+}
+
+TEST(ChaosSchedule, ScheduleEventIsInertOnOneProcessor) {
+  // Like the link kinds: no network on p == 1, so the event drops cleanly
+  // (the shrinker may carry it across shapes without inventing a config).
+  ChaosPlan plan;
+  plan.seed = 12;
+  plan.events = {{ChaosEvent::Kind::kSchedule, 0, 1, 0.0}};
+  cgm::MachineConfig cfg;
+  cfg.v = 4;
+  cfg.p = 1;
+  plan.apply(cfg);
+  EXPECT_EQ(cfg.net.schedule, routing::ScheduleKind::kDirect);
+  EXPECT_FALSE(cfg.net.enabled);
+  cfg.validate();
+}
+
+TEST(ChaosSchedule, GenerateDrawsSchedulesOnlyWhenAllowed) {
+  PlanShape off;
+  off.p = 2;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    for (const ChaosEvent& e : ChaosPlan::generate(seed, off).events) {
+      EXPECT_NE(e.kind, ChaosEvent::Kind::kSchedule) << "seed " << seed;
+    }
+  }
+  PlanShape on = off;
+  on.allow_schedule = true;
+  std::set<std::uint64_t> drawn;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    for (const ChaosEvent& e : ChaosPlan::generate(seed, on).events) {
+      if (e.kind != ChaosEvent::Kind::kSchedule) continue;
+      EXPECT_LE(e.value, 3u);
+      drawn.insert(e.value);
+    }
+  }
+  EXPECT_GE(drawn.size(), 2u) << "40 seeds should draw several schedule kinds";
+}
+
+TEST(ChaosSchedule, JsonRoundTripsScheduleEvents) {
+  ChaosPlan plan;
+  plan.seed = 13;
+  plan.events = {{ChaosEvent::Kind::kSchedule, 0, 3, 0.0},
+                 {ChaosEvent::Kind::kLinkDrop, 0, 0, 0.05}};
+  const ChaosPlan parsed = ChaosPlan::parse_json(plan.to_json());
+  EXPECT_EQ(parsed.events, plan.events);
+  EXPECT_NE(plan.to_json().find("\"schedule\""), std::string::npos);
+}
+
+TEST(ChaosSchedule, FuzzSweepUnderSchedulesIsClean) {
+  // Schedule events compose with every other surface the generator draws:
+  // whatever collective routes the messages, the contract stays "same bytes
+  // as the direct clean run, or a typed recoverable failure".
+  FuzzMachine m;
+  PlanShape shape;
+  shape.p = m.p;
+  shape.allow_schedule = true;
+  const FuzzReport r = fuzz(77, 10, m, shape);
+  EXPECT_EQ(r.runs, 10u);
+  EXPECT_TRUE(r.ok()) << r.summary()
+                      << (r.findings.empty()
+                              ? ""
+                              : "\nfirst: " + r.findings[0].detail + "\n" +
+                                    r.findings[0].plan.to_json());
 }

@@ -651,3 +651,99 @@ TEST(MembershipSweep, KillRejoinKillBitIdenticalAcrossModes) {
     }
   }
 }
+
+// ------------------------------------------------------- total wipe-out ---
+
+TEST(ScheduleWipeOut, DiskCrashWipeOutResumesBitIdenticalUnderEverySchedule) {
+  // Total wipe-out hardening: when every real processor dies in the same
+  // window, the run aborts typed — but the engine resets the membership to
+  // the fresh-run shape (everybody nominally alive, groups home, links
+  // reset), and since commit records always live on each group's original
+  // disks, a disarm + resume() replays from the intact checkpoint to
+  // bit-identical output. The guarantee must hold identically under every
+  // collective schedule (the epoch bump re-derives it over the full set).
+  const auto keys = sort_keys_input(1200);
+  algo::SampleSortProgram<std::uint64_t> prog;
+
+  auto base_cfg = [](routing::ScheduleKind kind) {
+    cgm::MachineConfig cfg;
+    cfg.v = 8;
+    cfg.p = 2;
+    cfg.disk.num_disks = 4;
+    cfg.disk.block_bytes = 512;
+    cfg.checkpointing = true;
+    cfg.net.enabled = true;
+    cfg.net.failover = true;
+    cfg.net.schedule = kind;
+    return cfg;
+  };
+  em::EmEngine ref(base_cfg(routing::ScheduleKind::kDirect));
+  const auto expected = ref.run(prog, keyed_inputs(8, keys));
+  const auto& steps = ref.last_result().io_per_step;
+  ASSERT_GE(steps.size(), 2u);
+
+  for (routing::ScheduleKind kind :
+       {routing::ScheduleKind::kDirect, routing::ScheduleKind::kRing,
+        routing::ScheduleKind::kTree, routing::ScheduleKind::kHyperSystolic}) {
+    SCOPED_TRACE(routing::to_string(kind));
+    std::uint32_t wiped = 0;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < steps.size() && wiped == 0; ++i) {
+      cum += steps[i].total_ops();
+      auto cfg = base_cfg(kind);
+      // Per-proc op counters; both processors do roughly symmetric I/O, so
+      // half the cumulative count lands the crash mid-run on both machines.
+      cfg.fault.crash_after_ops = cum / 2 + 1;
+      em::EmEngine e(cfg);
+      bool crashed = false;
+      try {
+        (void)e.run(prog, keyed_inputs(8, keys));
+      } catch (const IoError& err) {
+        EXPECT_EQ(err.kind(), IoErrorKind::kCrash);
+        crashed = true;
+      }
+      if (!crashed || !e.has_checkpoint()) continue;
+      // A thrown crash with fail-over on and a valid commit means no
+      // survivor remained; the hardening must have reset the membership.
+      EXPECT_TRUE(e.alive(0));
+      EXPECT_TRUE(e.alive(1));
+      EXPECT_EQ(e.group_host(0), 0u);
+      EXPECT_EQ(e.group_host(1), 1u);
+      e.disarm_faults();
+      const auto got = e.resume(prog);
+      EXPECT_TRUE(same_outputs(expected, got)) << "boundary " << i;
+      ++wiped;
+    }
+    EXPECT_GE(wiped, 1u) << "sweep never produced a total wipe-out";
+  }
+}
+
+TEST(ScheduleWipeOut, NetFailStopWipeOutKeepsTypedFailureUnderEverySchedule) {
+  // The fail-stop flavor: the network plan kills every processor, so even
+  // after the membership reset a resume() replays into the same detector
+  // verdict — the run must keep failing typed (no hang, no bit-rot), under
+  // every collective schedule.
+  const auto keys = sort_keys_input(1200);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  for (routing::ScheduleKind kind :
+       {routing::ScheduleKind::kDirect, routing::ScheduleKind::kRing,
+        routing::ScheduleKind::kTree, routing::ScheduleKind::kHyperSystolic}) {
+    SCOPED_TRACE(routing::to_string(kind));
+    cgm::MachineConfig cfg;
+    cfg.v = 8;
+    cfg.p = 2;
+    cfg.disk.num_disks = 4;
+    cfg.disk.block_bytes = 512;
+    cfg.checkpointing = true;
+    cfg.net.enabled = true;
+    cfg.net.failover = true;
+    cfg.net.schedule = kind;
+    cfg.net.fault.fail_stops = {{0, 2}, {1, 2}};
+    em::EmEngine e(cfg);
+    EXPECT_THROW((void)e.run(prog, keyed_inputs(8, keys)), Error);
+    if (!e.has_checkpoint()) continue;
+    EXPECT_TRUE(e.alive(0));
+    EXPECT_TRUE(e.alive(1));
+    EXPECT_THROW((void)e.resume(prog), Error);
+  }
+}

@@ -3,7 +3,7 @@
 //   chaos_run fuzz   [--seed S] [--plans N] [--p P] [--v V]
 //                    [--io-threads W] [--threads] [--keys K]
 //                    [--quota-min BYTES --quota-max BYTES]
-//                    [--out DIR]
+//                    [--schedules] [--out DIR]
 //       Run N seeded plans against the clean reference. Exit 0 when every
 //       plan is bit-identical or a typed graceful failure; on findings,
 //       auto-shrink each one and write the minimized plan JSON to
@@ -53,7 +53,7 @@ struct Args {
             << "usage: chaos_run fuzz|run|shrink [options]\n"
             << "  common: --p P --v V --io-threads W --threads --keys K\n"
             << "  fuzz:   --seed S --plans N --quota-min B --quota-max B"
-            << " --out DIR\n"
+            << " --schedules --out DIR\n"
             << "  run:    --plan FILE\n"
             << "  shrink: --plan FILE --out FILE\n";
   std::exit(2);
@@ -87,6 +87,7 @@ Args parse(int argc, char** argv) {
     else if (f == "--keys") a.machine.keys = static_cast<std::size_t>(num_arg(argc, argv, i));
     else if (f == "--quota-min") a.shape.quota_min_bytes = num_arg(argc, argv, i);
     else if (f == "--quota-max") a.shape.quota_max_bytes = num_arg(argc, argv, i);
+    else if (f == "--schedules") a.shape.allow_schedule = true;
     else if (f == "--plan") a.plan_file = str_arg(argc, argv, i);
     else if (f == "--out") { a.out = str_arg(argc, argv, i); a.out_set = true; }
     else usage("unknown flag '" + f + "'");

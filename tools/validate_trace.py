@@ -25,7 +25,7 @@ SPAN_NAMES = {
     "superstep", "group_step", "context_read", "inbox_read", "compute",
     "outbox_write", "context_write", "net_post", "net_collect", "net_pair",
     "deliver", "commit", "recovery", "heartbeat", "output_collect",
-    "io_prefetch", "io_drain", "rejoin", "rebalance",
+    "io_prefetch", "io_drain", "rejoin", "rebalance", "sched_step",
 }
 # Required args keys per counter-track name.
 COUNTER_KEYS = {
