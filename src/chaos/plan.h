@@ -80,6 +80,13 @@ struct PlanShape {
   /// (p > 1). Off by default so pre-existing seeded campaigns replay the
   /// exact event streams they always drew.
   bool allow_schedule = false;
+  /// Tenant targeting for multi-job service runs (src/svc): -1 — the
+  /// default — arms the generated plan machine-wide, i.e. on the single job
+  /// a plan is applied to; >= 0 names the job (by submission index) whose
+  /// machine the plan is armed on, with every co-resident tenant left
+  /// untouched. Does not change what generate() draws — `p` must then be
+  /// the *target job's* processor count, not the pool's host count.
+  std::int32_t target_tenant = -1;
 };
 
 /// A composed, seeded, serializable fault schedule.

@@ -43,6 +43,61 @@ class EmEngine final : public cgm::Engine {
       const cgm::Program& program,
       std::vector<cgm::PartitionSet> inputs) override;
 
+  // ---- cooperative (schedulable) run API --------------------------------
+  //
+  // run() is start(); while (step()) {}; finish(). A scheduler (the
+  // multi-tenant job service, src/svc/) drives the same three calls itself:
+  // step() executes exactly one physical superstep and returns at the
+  // barrier, so between any two step() calls the engine is quiescent — the
+  // stores are flipped, the async executors drained, and (with
+  // cfg.checkpointing) the boundary committed. Preempting a job is therefore
+  // simply *not calling* step() for a while; no engine state needs saving
+  // beyond what the double-slot checkpoint already holds. The sequence of
+  // supersteps a program executes is independent of when step() is called,
+  // which is what makes a time-multiplexed run bit-identical to a solo run.
+
+  /// Set up a cooperative run: fresh membership, stores, initial contexts
+  /// and (with cfg.checkpointing) the initial commit. The program must stay
+  /// alive until finish(). Discards any previous unfinished run.
+  void start(const cgm::Program& program,
+             std::vector<cgm::PartitionSet> inputs);
+
+  /// Cooperative counterpart of resume(): restore from the last committed
+  /// boundary and position the run there instead of at round 0.
+  void start_resume(const cgm::Program& program);
+
+  /// Execute one physical superstep (or one fail-over/rejoin recovery
+  /// action) and return at the barrier. False once the program finished —
+  /// call finish() to collect the outputs. Throws exactly what run() would
+  /// (typed IoError, InvariantViolation, ...); the cooperative state stays
+  /// valid so start_resume() can pick the run back up after repair.
+  bool step();
+
+  /// True between start()/start_resume() and finish(): the engine holds a
+  /// cooperative run (possibly finished but not yet collected).
+  bool active() const { return rs_ != nullptr; }
+
+  /// Collect the outputs of a finished cooperative run and fold the run's
+  /// totals into last_result()/total(). Requires active() and step() having
+  /// returned false.
+  std::vector<cgm::PartitionSet> finish();
+
+  // ---- arbitration hooks (job service) ----------------------------------
+
+  /// Observe every parallel disk op this engine submits, as a block count,
+  /// from whichever thread submits it (the hook must be thread-safe). The
+  /// job service charges deficit-round-robin accounts with these. Applies
+  /// to all current and future runs; pass nullptr to detach.
+  void set_io_charge_hook(pdm::IoChargeFn fn);
+
+  /// Observe every closed network round's wire bytes, tagged with
+  /// set_net_job_tag()'s value (barrier thread only). Survives the per-run
+  /// re-creation of the simulated network.
+  void set_net_charge_hook(net::NetChargeFn fn);
+
+  /// Tag this engine's network rounds for the charge hook (job id).
+  void set_net_job_tag(std::uint64_t tag);
+
   /// Recover a run that threw mid-superstep (requires cfg.checkpointing):
   /// re-reads the commit records of the last committed superstep boundary,
   /// restores the context/message directories, and replays the run from
@@ -118,6 +173,8 @@ class EmEngine final : public cgm::Engine {
 
  private:
   struct RealProc;
+  struct ProcOutcome;
+  struct RunState;
 
   /// Where a committed boundary resumes: the next physical superstep to run.
   enum class Phase : std::uint32_t { kCompute = 0, kRegroup = 1, kDone = 2 };
@@ -134,10 +191,28 @@ class EmEngine final : public cgm::Engine {
     return vproc / nlocal();
   }
 
-  std::vector<cgm::PartitionSet> run_loop(const cgm::Program& program,
-                                          std::uint64_t start_round,
-                                          Phase start_phase,
-                                          const pdm::IoStats& io_before);
+  /// True when superstep communication routes through a verified collective
+  /// schedule's multi-hop rounds (engaged schedule) rather than the direct
+  /// overlapped all-to-all. Dynamic: a custom schedule falls back to direct
+  /// when a membership change invalidates it (rebuild_schedule).
+  bool sched_path() const { return net_ != nullptr && sched_.has_value(); }
+
+  /// Install the cooperative run state at a given boundary (the tail of
+  /// start()/start_resume()).
+  void begin_loop(const cgm::Program& program, std::uint64_t start_round,
+                  Phase start_phase, const pdm::IoStats& io_before);
+
+  // One-superstep helpers, split out of the old monolithic run loop; all
+  // operate on the installed RunState.
+  void record_step_io(RunState& rs, const char* phase_label, bool has_comm,
+                      std::uint64_t step_round);
+  void simulate_real_proc(RunState& rs, std::uint32_t r, ProcOutcome& out);
+  void regroup_real_proc(RunState& rs, std::uint32_t r, ProcOutcome& out);
+  void post_group(RunState& rs, std::uint32_t host, std::uint32_t g,
+                  ProcOutcome& out);
+  std::vector<ProcOutcome> run_phase(RunState& rs, bool compute);
+  void deliver_staged(RunState& rs, std::vector<ProcOutcome>& outcomes);
+  void drain_arrival_writes();
   void commit(std::uint64_t round, Phase phase);
   void restore_from_commit();
 
@@ -225,6 +300,14 @@ class EmEngine final : public cgm::Engine {
   std::vector<char> alive_;
   std::uint64_t phys_step_ = 0;  ///< monotonic physical superstep clock
   std::uint64_t epoch_ = 0;      ///< membership epoch (see membership_epoch)
+
+  /// Cooperative run state between start() and finish(); null otherwise.
+  std::unique_ptr<RunState> rs_;
+
+  // Arbitration hooks (job service); empty = detached, zero overhead.
+  pdm::IoChargeFn io_charge_;
+  net::NetChargeFn net_charge_;
+  std::uint64_t net_job_tag_ = 0;
 
   cgm::RunResult last_;
   cgm::RunResult total_;

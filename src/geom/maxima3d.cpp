@@ -193,6 +193,14 @@ std::vector<Point3> maxima3d(cgm::Machine& m,
   return m.gather(maxima3d(m, std::move(dv)));
 }
 
+std::unique_ptr<cgm::Program> make_maxima_sort_program() {
+  return std::make_unique<algo::SampleSortProgram<Point3, SortByXDesc>>();
+}
+
+std::unique_ptr<cgm::Program> make_maxima_program() {
+  return std::make_unique<MaximaProgram>();
+}
+
 std::vector<Point3> maxima3d_brute(const std::vector<Point3>& points) {
   std::vector<Point3> out;
   for (const auto& p : points) {

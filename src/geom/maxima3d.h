@@ -18,6 +18,7 @@
 // Precondition: pairwise distinct x, y and z coordinate values.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "cgm/machine.h"
@@ -35,5 +36,14 @@ std::vector<Point3> maxima3d(cgm::Machine& m,
 
 /// O(n^2) reference for testing.
 std::vector<Point3> maxima3d_brute(const std::vector<Point3>& points);
+
+/// Stage factories for callers that drive an engine directly (the job
+/// service's staged workloads): maxima3d() is the two-program pipeline
+/// sort-by-x-descending then staircase-filter, and these expose each stage.
+/// Feeding make_maxima_sort_program's output slot 0 into
+/// make_maxima_program's input slot 0 over the same machine config
+/// reproduces maxima3d() bit-identically.
+std::unique_ptr<cgm::Program> make_maxima_sort_program();
+std::unique_ptr<cgm::Program> make_maxima_program();
 
 }  // namespace emcgm::geom

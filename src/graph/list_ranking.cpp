@@ -351,6 +351,13 @@ std::vector<ListRank> list_ranking(cgm::Machine& m,
   return m.gather(list_ranking(m, std::move(dv), total));
 }
 
+std::unique_ptr<cgm::Program> make_list_rank_program(std::uint64_t total,
+                                                     std::uint64_t seed,
+                                                     bool weighted) {
+  return std::make_unique<ListRankProgram>(total, seed ^ 0x715EC0DE,
+                                           weighted);
+}
+
 std::vector<ListRank> list_ranking_seq(std::vector<ListNode> nodes) {
   std::sort(nodes.begin(), nodes.end(),
             [](const ListNode& a, const ListNode& b) { return a.id < b.id; });

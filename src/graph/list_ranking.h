@@ -17,6 +17,7 @@
 // Supports multiple disjoint lists in one input (a forest of lists).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "cgm/machine.h"
@@ -48,5 +49,16 @@ std::vector<ListRank> list_ranking(cgm::Machine& m,
 
 /// Sequential reference.
 std::vector<ListRank> list_ranking_seq(std::vector<ListNode> nodes);
+
+/// Factory for callers that drive an engine directly (the job service's
+/// staged workloads) instead of going through list_ranking()'s Machine
+/// wrapper. `seed` is the machine seed; the factory applies the same
+/// program-specific salt the wrapper does, so a run over the same machine
+/// config produces bit-identical output either way. Input slot 0 = nodes in
+/// id-chunk layout (+ slot 1 = weights when `weighted`); output slot 0 =
+/// ListRank records in the same layout.
+std::unique_ptr<cgm::Program> make_list_rank_program(std::uint64_t total,
+                                                     std::uint64_t seed,
+                                                     bool weighted);
 
 }  // namespace emcgm::graph

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/packet.h"
@@ -113,6 +114,16 @@ struct NetConfig {
   /// engine derives, verifies (typed kConfig on any violation), and
   /// re-derives the schedule on every membership epoch.
   routing::ScheduleKind schedule = routing::ScheduleKind::kDirect;
+  /// User-supplied schedule JSON (routing::parse_schedule_json framing,
+  /// as emitted by CommSchedule::to_json and accepted by
+  /// tools/schedule_check --file). Consulted only when schedule == kCustom:
+  /// parsed and verified before the run's first byte moves (typed kConfig
+  /// on malformed JSON, a host set not matching the initial membership, or
+  /// any verifier violation). A custom schedule names fixed hosts, so it
+  /// cannot be re-derived when fail-over or rejoin changes the membership —
+  /// the engine then falls back to the direct schedule for the remaining
+  /// epochs (documented policy; see EmEngine::rebuild_schedule).
+  std::string custom_schedule_json;
 };
 
 /// What the injector decided for one wire transmission.

@@ -401,11 +401,16 @@ std::vector<std::vector<Delivery>> SimNetwork::finish_pairs(
   // Merge statistics in canonical pair order. Every counter is an additive
   // total, so the merged value equals what one global event loop would have
   // counted — order only matters for reproducibility of intermediate reads.
+  std::uint64_t round_wire_bytes = 0;
   for (std::uint32_t lo = 0; lo < p_; ++lo) {
     for (std::uint32_t hi = lo + 1; hi < p_; ++hi) {
       stats_ += outs[slot(lo, hi)].stats;
+      round_wire_bytes += outs[slot(lo, hi)].stats.wire_bytes;
     }
   }
+  // Arbitration probe: one charge per closed round, tagged with the owning
+  // job. Charged before any pair error rethrows — the wire traffic happened.
+  if (charge_ && round_wire_bytes > 0) charge_(job_tag_, round_wire_bytes);
   if (tracer_) {
     // Publish one net_pair span per pair that carried traffic, in canonical
     // pair order. Timestamps were recorded by whichever thread simulated the

@@ -149,18 +149,23 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
   // plus the engine process for barrier work and net pair lanes.
   std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;
   for (const auto& s : spans) lanes.emplace(s.host, s.track);
+  // Tenant-scoped runs (ObsConfig::tenant, set by the job service) prefix
+  // every process name, so traces of co-resident jobs stay attributable
+  // after export. The label is pre-sanitized by Tracer::set_tenant.
+  const std::string tp =
+      tracer.tenant().empty() ? std::string() : tracer.tenant() + ": ";
   for (std::uint32_t h = 0; h <= tracer.p(); ++h) {
     sep();
     if (h == tracer.engine_pid()) {
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
-                   "\"args\":{\"name\":\"engine\"}}",
-                   h);
+                   "\"args\":{\"name\":\"%sengine\"}}",
+                   h, tp.c_str());
     } else {
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
-                   "\"args\":{\"name\":\"host %u\"}}",
-                   h, h);
+                   "\"args\":{\"name\":\"%shost %u\"}}",
+                   h, tp.c_str(), h);
     }
   }
   for (const auto& [pid, tid] : lanes) {
@@ -238,16 +243,20 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
 }
 
 void write_metrics_json(const std::string& path, const MetricsRegistry& m,
-                        std::uint32_t num_disks, std::size_t block_bytes) {
+                        std::uint32_t num_disks, std::size_t block_bytes,
+                        const std::string& tenant) {
   FileCloser fc{open_or_throw(path)};
-  write_metrics_json(fc.f, m, num_disks, block_bytes);
+  write_metrics_json(fc.f, m, num_disks, block_bytes, tenant);
 }
 
 void write_metrics_json(std::FILE* f, const MetricsRegistry& m,
-                        std::uint32_t num_disks, std::size_t block_bytes) {
+                        std::uint32_t num_disks, std::size_t block_bytes,
+                        const std::string& tenant) {
   const pdm::DiskCostModel model;
+  std::fprintf(f, "{");
+  if (!tenant.empty()) std::fprintf(f, "\"tenant\":\"%s\",", tenant.c_str());
   std::fprintf(f,
-               "{\"schema\":\"%s\",\"num_disks\":%u,\"block_bytes\":%zu,\n"
+               "\"schema\":\"%s\",\"num_disks\":%u,\"block_bytes\":%zu,\n"
                " \"model\":{\"avg_seek_ms\":%.4f,\"avg_rotational_ms\":%.4f,"
                "\"bandwidth_mb_s\":%.4f,\"op_seconds\":%.9f},\n"
                " \"supersteps\":[",

@@ -31,11 +31,15 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                         const MetricsRegistry* metrics);
 
 /// Write per-superstep metrics JSON. `num_disks`/`block_bytes` describe the
-/// machine so consumers can reconstruct PDM units without the config.
+/// machine so consumers can reconstruct PDM units without the config. A
+/// non-empty `tenant` (pre-sanitized; see Tracer::set_tenant) is embedded as
+/// a top-level "tenant" field so multi-job metrics files stay attributable.
 void write_metrics_json(const std::string& path, const MetricsRegistry& m,
-                        std::uint32_t num_disks, std::size_t block_bytes);
+                        std::uint32_t num_disks, std::size_t block_bytes,
+                        const std::string& tenant = {});
 void write_metrics_json(std::FILE* f, const MetricsRegistry& m,
-                        std::uint32_t num_disks, std::size_t block_bytes);
+                        std::uint32_t num_disks, std::size_t block_bytes,
+                        const std::string& tenant = {});
 
 /// The metrics sibling of a Chrome trace path: "<stem>.metrics.json" (a
 /// trailing ".json" on `trace_path` is treated as the stem's extension).

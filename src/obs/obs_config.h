@@ -3,6 +3,8 @@
 // obs/metrics.h and obs/export.h.
 #pragma once
 
+#include <string>
+
 namespace emcgm::obs {
 
 struct ObsConfig {
@@ -14,6 +16,15 @@ struct ObsConfig {
   /// outputs plus every stat counter are bit-identical to a build without
   /// the subsystem.
   bool trace = false;
+
+  /// Tenant label for multi-job runs (src/svc): when non-empty, the Chrome
+  /// exporter prefixes every process name with it ("jobA: host 0") and the
+  /// metrics JSON carries a "tenant" field, so traces of co-resident jobs
+  /// can be told apart — and diffed against the job's solo run — after
+  /// export. Sanitized to [A-Za-z0-9_.-] on the way into the Tracer so the
+  /// emitted JSON never needs escaping. Empty (the default) emits exactly
+  /// the pre-tenant names.
+  std::string tenant;
 };
 
 }  // namespace emcgm::obs

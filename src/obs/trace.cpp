@@ -120,6 +120,16 @@ Tracer::Tracer(std::uint32_t p)
   EMCGM_CHECK(p >= 1);
 }
 
+void Tracer::set_tenant(const std::string& t) {
+  tenant_.clear();
+  tenant_.reserve(t.size());
+  for (char c : t) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    tenant_.push_back(ok ? c : '_');
+  }
+}
+
 void Tracer::record_queue_depth(std::uint32_t host, std::size_t depth) {
   // Cap chosen so a full track is ~1.5 MB; plenty for the benchmark runs
   // the counter is meant to visualize.

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "pdm/io_stats.h"
@@ -146,6 +147,13 @@ class Tracer {
   /// pid the exporter assigns to engine-side (barrier) spans.
   std::uint32_t engine_pid() const { return p_; }
 
+  /// Tenant label (ObsConfig::tenant) prefixed onto exported process names.
+  /// Sanitized here — anything outside [A-Za-z0-9_.-] becomes '_' — so the
+  /// exporter can print it into JSON verbatim. Set once at run start by the
+  /// engine, before any worker thread exists.
+  void set_tenant(const std::string& t);
+  const std::string& tenant() const { return tenant_; }
+
   /// Nanoseconds since tracer construction (steady clock; thread-safe).
   std::uint64_t now_ns() const {
     return static_cast<std::uint64_t>(
@@ -180,6 +188,7 @@ class Tracer {
 
  private:
   std::uint32_t p_;
+  std::string tenant_;
   std::vector<TraceShard> shards_;
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex depth_mu_;

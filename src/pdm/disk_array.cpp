@@ -175,6 +175,7 @@ void DiskArray::parallel_read(std::span<const ReadSlot> slots) {
   stats_.read_ops += 1;
   stats_.blocks_read += slots.size();
   if (slots.size() == num_disks()) stats_.full_stripe_ops += 1;
+  if (opts_.on_charge) opts_.on_charge(slots.size());
 }
 
 void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
@@ -195,6 +196,7 @@ void DiskArray::parallel_write(std::span<const WriteSlot> slots) {
   stats_.write_ops += 1;
   stats_.blocks_written += slots.size();
   if (slots.size() == num_disks()) stats_.full_stripe_ops += 1;
+  if (opts_.on_charge) opts_.on_charge(slots.size());
 }
 
 IoTicket DiskArray::parallel_read_async(std::span<const ReadSlot> slots) {
@@ -212,6 +214,7 @@ IoTicket DiskArray::parallel_read_async(std::span<const ReadSlot> slots) {
   }
   pre_submit();
   backend_->note_parallel_op();
+  if (opts_.on_charge) opts_.on_charge(slots.size());
   return exec_->submit_read(slots);
 }
 
@@ -230,6 +233,7 @@ IoTicket DiskArray::parallel_write_async(std::span<const WriteSlot> slots) {
   }
   pre_submit();
   backend_->note_parallel_op();
+  if (opts_.on_charge) opts_.on_charge(slots.size());
   return exec_->submit_write(slots);
 }
 

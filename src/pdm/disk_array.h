@@ -50,6 +50,15 @@ using IoTicket = std::uint64_t;
 /// DiskArrayOptions.io_threads value asking for min(D, hw_concurrency).
 inline constexpr std::uint32_t kIoThreadsAuto = 0xFFFFFFFFu;
 
+/// Arbitration probe: called once per parallel op at submission, with the
+/// number of blocks the op moves, from whichever thread submits it (the
+/// engine's host workers under use_threads — the sink must be thread-safe).
+/// This is what a fair-share scheduler (src/svc/) charges its deficit
+/// round-robin accounts with: blocks are the PDM cost unit, and submission
+/// order is deterministic, so the charge stream is too. Counted work, never
+/// wall time — arbitration decisions stay bit-reproducible.
+using IoChargeFn = std::function<void(std::uint64_t blocks)>;
+
 /// Fault-tolerance and execution configuration of one disk array.
 struct DiskArrayOptions {
   /// Wrap every physical block in a CRC32C envelope (checksum.h) and verify
@@ -67,6 +76,8 @@ struct DiskArrayOptions {
   /// every submit/completion from submitter and worker threads (serialized
   /// by the executor's completion lock, but the sink must be thread-safe).
   IoExecutor::DepthFn on_queue_depth;
+  /// Per-op block-count charge probe (see IoChargeFn); empty = detached.
+  IoChargeFn on_charge;
 };
 
 class DiskArray {
@@ -155,6 +166,11 @@ class DiskArray {
 
   StorageBackend& backend() { return *backend_; }
   const DiskArrayOptions& options() const { return opts_; }
+
+  /// (Re-)attach the per-op charge probe after construction (the job
+  /// service installs per-tenant accounts on engines it did not build).
+  /// Must not be called while ops are being submitted concurrently.
+  void set_charge_hook(IoChargeFn fn) { opts_.on_charge = std::move(fn); }
 
   /// The fault injector wrapping the backend, or nullptr if none.
   FaultInjectingBackend* fault_injector() { return injector_; }

@@ -240,6 +240,7 @@ const char* to_string(ScheduleKind kind) {
     case ScheduleKind::kRing:          return "ring";
     case ScheduleKind::kTree:          return "tree";
     case ScheduleKind::kHyperSystolic: return "hyper_systolic";
+    case ScheduleKind::kCustom:        return "custom";
   }
   return "unknown";
 }
@@ -247,11 +248,11 @@ const char* to_string(ScheduleKind kind) {
 ScheduleKind schedule_kind_from_string(const std::string& name) {
   for (ScheduleKind k :
        {ScheduleKind::kDirect, ScheduleKind::kRing, ScheduleKind::kTree,
-        ScheduleKind::kHyperSystolic}) {
+        ScheduleKind::kHyperSystolic, ScheduleKind::kCustom}) {
     if (name == to_string(k)) return k;
   }
   bad_config("unknown schedule '" + name +
-             "' (expected direct, ring, tree, or hyper_systolic)");
+             "' (expected direct, ring, tree, hyper_systolic, or custom)");
 }
 
 std::vector<std::uint32_t> machines_from_roots(
@@ -313,6 +314,9 @@ CommSchedule make_schedule(ScheduleKind kind, std::uint32_t p,
     case ScheduleKind::kHyperSystolic:
       gen_hyper(s, group_by_machine(s, machines));
       break;
+    case ScheduleKind::kCustom:
+      bad_config("kCustom is not a generator: load the schedule with"
+                 " parse_schedule_json (NetConfig::custom_schedule_json)");
   }
   s.max_degree = observed_degree(s);
   return s;

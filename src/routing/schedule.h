@@ -41,12 +41,19 @@ enum class ScheduleKind : std::uint32_t {
   kRing = 1,           ///< n-1 steps, each host forwards to its successor
   kTree = 2,           ///< hierarchical: gather -> leader exchange -> scatter
   kHyperSystolic = 3,  ///< hierarchical with a strided leader exchange
+  /// User-supplied schedule JSON (NetConfig::custom_schedule_json), parsed
+  /// with parse_schedule_json and proven by the verifier before the run
+  /// starts. Not a generator: make_schedule rejects it — the engine loads
+  /// the JSON itself and falls back to kDirect when a membership change
+  /// invalidates the custom host set (the JSON names fixed hosts, so it
+  /// cannot be re-derived for a shrunken machine).
+  kCustom = 4,
 };
 
 const char* to_string(ScheduleKind kind);
 
-/// Parse a schedule name ("direct", "ring", "tree", "hyper_systolic").
-/// Throws IoError(kConfig) on an unknown name.
+/// Parse a schedule name ("direct", "ring", "tree", "hyper_systolic",
+/// "custom"). Throws IoError(kConfig) on an unknown name.
 ScheduleKind schedule_kind_from_string(const std::string& name);
 
 /// A flow is one (orig host, fin host) byte stream of the superstep's

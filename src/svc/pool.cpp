@@ -1,0 +1,64 @@
+#include "svc/pool.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace emcgm::svc {
+
+void PoolConfig::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw IoError(IoErrorKind::kConfig, what);
+  };
+  check(hosts >= 1, "pool needs at least one host");
+  check(disks_per_host >= 1, "pool hosts need at least one disk");
+  check(block_bytes >= 8, "pool block size too small");
+}
+
+MachinePool::MachinePool(PoolConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  free_disks_.assign(cfg_.hosts, cfg_.disks_per_host);
+}
+
+void MachinePool::check_feasible(const std::string& job, std::uint32_t hosts,
+                                 std::uint32_t disks) const {
+  std::ostringstream os;
+  if (hosts < 1 || disks < 1) {
+    os << "job '" << job << "' asks for " << hosts << " hosts x " << disks
+       << " disks; both must be >= 1";
+  } else if (hosts > cfg_.hosts) {
+    os << "job '" << job << "' asks for " << hosts
+       << " hosts but the pool has " << cfg_.hosts;
+  } else if (disks > cfg_.disks_per_host) {
+    os << "job '" << job << "' asks for " << disks
+       << " disks per host but pool hosts own " << cfg_.disks_per_host;
+  } else {
+    return;
+  }
+  throw IoError(IoErrorKind::kConfig, os.str());
+}
+
+std::vector<std::uint32_t> MachinePool::try_acquire(std::uint32_t hosts,
+                                                    std::uint32_t disks) {
+  // First fit, lowest host id: pure function of the pool's free map, so a
+  // replayed service run grants the same carve-outs in the same order.
+  std::vector<std::uint32_t> granted;
+  for (std::uint32_t h = 0; h < cfg_.hosts && granted.size() < hosts; ++h) {
+    if (free_disks_[h] >= disks) granted.push_back(h);
+  }
+  if (granted.size() < hosts) return {};
+  for (std::uint32_t h : granted) free_disks_[h] -= disks;
+  return granted;
+}
+
+void MachinePool::release(const std::vector<std::uint32_t>& hosts,
+                          std::uint32_t disks) {
+  for (std::uint32_t h : hosts) {
+    EMCGM_CHECK_MSG(h < cfg_.hosts &&
+                        free_disks_[h] + disks <= cfg_.disks_per_host,
+                    "pool release does not match a grant");
+    free_disks_[h] += disks;
+  }
+}
+
+}  // namespace emcgm::svc

@@ -1,0 +1,64 @@
+// The shared simulated machine pool jobs carve their machines out of.
+//
+// The pool is an accounting layer, not a store: every job owns its own
+// EmEngine (disks, stores, network, tracer), so co-resident jobs share
+// *capacity* — host slots and per-host disk counts — never state. That
+// structural isolation is what makes a job's outputs and stats bit-identical
+// between a solo run and a contended service run: contention can only delay
+// a job's supersteps, and the engine's superstep sequence is independent of
+// when step() is called.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emcgm::svc {
+
+/// Capacity of the shared pool. Uniform hosts: every host owns
+/// `disks_per_host` disks of `block_bytes`-byte blocks.
+struct PoolConfig {
+  std::uint32_t hosts = 4;
+  std::uint32_t disks_per_host = 8;
+  std::size_t block_bytes = 4096;
+
+  void validate() const;
+};
+
+/// Deterministic first-fit carve-outs of the pool. A job asks for `hosts`
+/// hosts with `disks` disks on each; the pool grants the lowest-id hosts
+/// that have that many disks free (so two jobs may co-reside on one host as
+/// long as its disk complement covers both). Requests the pool could never
+/// satisfy — more disks per host than a host owns, or more hosts than the
+/// pool has — are rejected with a typed IoError(kConfig); requests that
+/// merely have to wait for running jobs to release capacity return empty.
+class MachinePool {
+ public:
+  explicit MachinePool(PoolConfig cfg);
+
+  const PoolConfig& config() const { return cfg_; }
+
+  /// True iff (hosts, disks) could ever be granted by an empty pool.
+  /// Throws IoError(kConfig) naming the job when it could not.
+  void check_feasible(const std::string& job, std::uint32_t hosts,
+                      std::uint32_t disks) const;
+
+  /// Try to carve now: returns the granted host ids (ascending), or empty
+  /// when the free capacity does not cover the request yet.
+  std::vector<std::uint32_t> try_acquire(std::uint32_t hosts,
+                                         std::uint32_t disks);
+
+  /// Return a carve-out (the exact hosts/disks of a try_acquire grant).
+  void release(const std::vector<std::uint32_t>& hosts, std::uint32_t disks);
+
+  /// Free disks on one host (observability / tests).
+  std::uint32_t free_disks(std::uint32_t host) const {
+    return free_disks_.at(host);
+  }
+
+ private:
+  PoolConfig cfg_;
+  std::vector<std::uint32_t> free_disks_;  ///< per host
+};
+
+}  // namespace emcgm::svc

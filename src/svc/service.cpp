@@ -1,0 +1,134 @@
+#include "svc/service.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace emcgm::svc {
+
+JobService::JobService(ServiceConfig cfg) : cfg_(cfg), pool_(cfg.pool) {
+  if (cfg_.quantum_bytes == 0) {
+    throw IoError(IoErrorKind::kConfig,
+                  "quantum_bytes == 0 would never let a burst run");
+  }
+}
+
+void JobService::submit(JobSpec spec) {
+  if (spec.name.empty()) {
+    throw IoError(IoErrorKind::kConfig, "job without a name");
+  }
+  for (const Slot& s : slots_) {
+    if (s.spec.name == spec.name) {
+      throw IoError(IoErrorKind::kConfig,
+                    "duplicate job name '" + spec.name + "'");
+    }
+  }
+  // Reject everything rejectable before the tick loop: infeasible
+  // carve-outs, bad machine shapes, unknown workloads.
+  pool_.check_feasible(spec.name, spec.hosts, spec.disks);
+  make_machine_config(spec, cfg_.pool, cfg_.trace).validate();
+  make_workload(spec.workload, spec.n, spec.seed);
+  slots_.push_back(Slot{std::move(spec), nullptr, false});
+}
+
+void JobService::admit() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (s.job || s.finished) continue;
+    if (s.spec.arrival_tick > tick_) continue;
+    auto carve = pool_.try_acquire(s.spec.hosts, s.spec.disks);
+    if (carve.empty()) {
+      // FIFO admission: a job waiting for capacity blocks later arrivals,
+      // so carve order (and with it the whole schedule) stays a function of
+      // submission order alone.
+      break;
+    }
+    s.job = std::make_unique<Job>(s.spec, static_cast<std::uint64_t>(i),
+                                  cfg_.pool, std::move(carve), cfg_.trace);
+    s.job->admit_tick = tick_;
+  }
+}
+
+Job* JobService::pick() {
+  std::uint32_t best = 0;
+  bool any = false;
+  for (const Slot& s : slots_) {
+    if (!s.job || s.finished) continue;
+    if (!any || s.spec.priority > best) best = s.spec.priority;
+    any = true;
+  }
+  if (!any) return nullptr;
+
+  // Keep the running burst while it stays in the top class with credit.
+  if (current_ != SIZE_MAX) {
+    Slot& cur = slots_[current_];
+    if (cur.job && !cur.finished && cur.spec.priority == best &&
+        cur.job->deficit > 0) {
+      return cur.job.get();
+    }
+  }
+
+  // Rotate to the next top-class job after the cursor and open its burst
+  // with one quantum of credit (leftover — or overdraft — carries).
+  for (std::size_t k = 1; k <= slots_.size(); ++k) {
+    const std::size_t idx = (rr_ + k) % slots_.size();
+    Slot& s = slots_[idx];
+    if (!s.job || s.finished || s.spec.priority != best) continue;
+    if (current_ != SIZE_MAX && current_ != idx) {
+      Slot& prev = slots_[current_];
+      if (prev.job && !prev.finished) ++prev.job->preemptions;
+    }
+    rr_ = idx;
+    current_ = idx;
+    s.job->deficit += static_cast<std::int64_t>(cfg_.quantum_bytes);
+    return s.job.get();
+  }
+  return nullptr;  // unreachable: `any` guaranteed a candidate
+}
+
+std::vector<JobResult> JobService::run_all() {
+  for (;;) {
+    bool all_done = true;
+    for (const Slot& s : slots_) {
+      if (!s.finished) all_done = false;
+    }
+    if (all_done) break;
+
+    ++tick_;
+    admit();
+    Job* job = pick();
+    if (!job) continue;  // only future arrivals remain; let the tick pass
+
+    const bool more = job->step();
+    const std::uint64_t cost = job->take_charge();
+    job->deficit -= static_cast<std::int64_t>(cost);
+    job->charged_total += cost;
+    if (!more) {
+      job->end_tick = tick_;
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].job.get() != job) continue;
+        slots_[i].finished = true;
+        pool_.release(job->carve(), slots_[i].spec.disks);
+        if (current_ == i) current_ = SIZE_MAX;
+        break;
+      }
+    }
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(slots_.size());
+  for (const Slot& s : slots_) results.push_back(s.job->result());
+  return results;
+}
+
+JobResult run_job_solo(JobSpec spec, const PoolConfig& pool, bool trace) {
+  ServiceConfig sc;
+  sc.pool = pool;
+  sc.trace = trace;
+  spec.arrival_tick = 0;
+  JobService svc(sc);
+  svc.submit(std::move(spec));
+  return svc.run_all().at(0);
+}
+
+}  // namespace emcgm::svc

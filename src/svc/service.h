@@ -1,0 +1,93 @@
+// Multi-tenant job service: many concurrent EM-CGM jobs time-multiplexed
+// over one shared simulated machine pool.
+//
+// Scheduling model — every decision is a pure function of the job specs, so
+// a service run is as deterministic as a single engine run:
+//
+//   * Admission: a submitted job waits until its arrival tick passes, then
+//     until the pool can grant its carve-out (first-fit lowest host id, in
+//     submission order). Requests an empty pool could never satisfy are
+//     rejected at submit() with a typed IoError(kConfig).
+//   * Priorities are strict: the scheduler only ever steps a job of the
+//     highest priority class that has admitted, unfinished jobs. A higher
+//     priority arrival preempts the running job *at its next superstep
+//     barrier* — the engine's cooperative step() returns at barriers, and
+//     preemption is simply not being stepped again. Nothing is saved or
+//     restored, which is why preemption cannot perturb a job's results.
+//   * Within a class, deficit round-robin arbitrates the shared disk and
+//     network capacity: each job's account is charged the *counted* cost of
+//     its supersteps (blocks x block size + wire bytes — never wall time),
+//     a burst lasts until the account overdraws its quantum, and each visit
+//     refills by one quantum. Long-run shares of equal-priority tenants are
+//     equal in counted bytes whatever their superstep granularity.
+//
+// Per-tenant isolation is structural: each job owns its engine, disks,
+// stores, network and tracer; tenants share capacity, never state. A job's
+// outputs, IoStats and NetStats are bit-identical to its solo run on the
+// same carve (tests/test_svc.cpp and bench/bench_jobsvc.cpp enforce this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "svc/job.h"
+#include "svc/pool.h"
+
+namespace emcgm::svc {
+
+struct ServiceConfig {
+  PoolConfig pool;
+  /// DRR refill per scheduling visit, in counted bytes. Smaller = finer
+  /// interleaving (more barrier switches); the default is a few supersteps
+  /// of a small job.
+  std::uint64_t quantum_bytes = 1u << 20;
+  /// Per-job tracer with the job name as tenant label (ObsConfig::tenant).
+  bool trace = false;
+};
+
+class JobService {
+ public:
+  explicit JobService(ServiceConfig cfg);
+
+  /// Queue a job. Validates the spec now — pool feasibility and machine
+  /// config both reject with typed IoError(kConfig) — so a bad job never
+  /// reaches the tick loop. Jobs are admitted in submission order.
+  void submit(JobSpec spec);
+
+  /// Tick loop to completion. Returns per-job results in submission order;
+  /// a failed job carries its error, the others complete normally.
+  std::vector<JobResult> run_all();
+
+  /// Scheduling ticks consumed by the last run_all().
+  std::uint64_t ticks() const { return tick_; }
+
+ private:
+  struct Slot {
+    JobSpec spec;
+    std::unique_ptr<Job> job;  ///< null until admitted
+    bool finished = false;
+  };
+
+  /// Admit every queued job whose arrival tick passed and whose carve the
+  /// pool can grant now (submission order; a blocked job does not let a
+  /// later one overtake it within the same priority — carve order is FIFO).
+  void admit();
+
+  /// The job to step next under strict priority + DRR, or null.
+  Job* pick();
+
+  ServiceConfig cfg_;
+  MachinePool pool_;
+  std::vector<Slot> slots_;
+  std::uint64_t tick_ = 0;
+  std::size_t current_ = SIZE_MAX;  ///< slot index of the running burst
+  std::size_t rr_ = 0;              ///< round-robin rotation cursor
+};
+
+/// Run one job alone on an otherwise empty pool of the same geometry — the
+/// reference side of the solo-vs-service bit-identity contract.
+JobResult run_job_solo(JobSpec spec, const PoolConfig& pool,
+                       bool trace = false);
+
+}  // namespace emcgm::svc

@@ -383,3 +383,70 @@ TEST(PdmAsync, EngineBitIdenticalAcrossIoThreadsMultiProcThreads) {
                 ("io_threads=" + std::to_string(T)).c_str());
   }
 }
+
+TEST(PdmAsync, PrefetchDepthInvisibleOnOutputsAndStats) {
+  // prefetch_depth widens the read-ahead window (how many vproc contexts +
+  // inboxes are in flight), never what is read: every vproc is prefetched
+  // exactly once, so outputs, total IoStats and the per-step ledger are all
+  // bit-identical across depths. depth=1 is the legacy one-ahead pipeline.
+  cgm::MachineConfig cfg;
+  cfg.v = 8;
+  cfg.p = 1;
+  cfg.disk.num_disks = 4;
+  cfg.disk.block_bytes = 128;
+  cfg.layout = cgm::MsgLayout::kChained;
+  cfg.checksums = true;
+  cfg.seed = 7;
+  cfg.prefetch_depth = 1;
+  const auto ref = run_engine(cfg, 2);
+  for (std::uint32_t depth : {2u, 4u, 8u, 64u}) {
+    cfg.prefetch_depth = depth;
+    expect_same(ref, run_engine(cfg, 2),
+                ("prefetch_depth=" + std::to_string(depth)).c_str());
+  }
+}
+
+TEST(PdmAsync, PrefetchDepthBoundedByMemoryBudget) {
+  // With a memory budget the window self-limits to M/2 bytes of contexts
+  // (always at least one ahead) — and that clamping must be invisible too.
+  cgm::MachineConfig cfg;
+  cfg.v = 8;
+  cfg.p = 1;
+  cfg.disk.num_disks = 4;
+  cfg.disk.block_bytes = 128;
+  cfg.layout = cgm::MsgLayout::kChained;
+  cfg.seed = 7;
+  cfg.prefetch_depth = 1;
+  const auto ref = run_engine(cfg, 2);
+  cfg.prefetch_depth = 8;
+  // The floor must clear the engine's legitimate per-vproc residency check
+  // (one vproc's context + inbox must always fit in M).
+  for (std::uint64_t mem : {std::uint64_t{1} << 14, std::uint64_t{1} << 16,
+                            std::uint64_t{1} << 30}) {
+    cfg.memory_bytes = mem;
+    expect_same(ref, run_engine(cfg, 2), ("M=" + std::to_string(mem)).c_str());
+  }
+}
+
+TEST(PdmAsync, PrefetchDepthInvisibleUnderThreadsAndFaults) {
+  // Deep windows under host threads + async I/O + transient faults: the
+  // per-disk fault coins fire by access order, which deeper prefetch must
+  // not perturb.
+  cgm::MachineConfig cfg;
+  cfg.v = 4;
+  cfg.p = 2;
+  cfg.disk.num_disks = 4;
+  cfg.disk.block_bytes = 128;
+  cfg.layout = cgm::MsgLayout::kChained;
+  cfg.checksums = true;
+  cfg.use_threads = true;
+  cfg.retry.max_attempts = 32;
+  cfg.fault.seed = 5;
+  cfg.fault.transient_read_prob = 0.01;
+  cfg.fault.transient_write_prob = 0.01;
+  cfg.seed = 7;
+  cfg.prefetch_depth = 1;
+  const auto ref = run_engine(cfg, 2);
+  cfg.prefetch_depth = 4;
+  expect_same(ref, run_engine(cfg, 2), "prefetch_depth=4 threaded+faults");
+}

@@ -708,3 +708,114 @@ TEST(ScheduleEngine, TwoProcessorRunsWorkUnderEverySchedule) {
         << to_string(kind);
   }
 }
+
+// ---------------------------------------------------------------- custom --
+
+TEST(ScheduleCustom, UserSuppliedRingBitIdenticalToDirect) {
+  const auto keys = random_keys(4242, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(sched_cfg(8, 4, ScheduleKind::kDirect));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+  const auto ref_bytes = ref.last_result().comm.total_bytes();
+
+  // A schedule exported by tools/schedule_check (or built here) replays via
+  // the kCustom path: the JSON "kind" label is free.
+  const auto ring = routing::make_schedule(ScheduleKind::kRing, 4,
+                                           all_hosts(4), identity_machines(4));
+  for (bool threads : {false, true}) {
+    auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom, threads);
+    cfg.net.custom_schedule_json = ring.to_json();
+    em::EmEngine e(cfg);
+    EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))))
+        << "threads=" << threads;
+    EXPECT_EQ(e.last_result().comm.total_bytes(), ref_bytes);
+    ASSERT_NE(e.schedule(), nullptr);
+    EXPECT_EQ(e.schedule()->steps.size(), ring.steps.size());
+  }
+}
+
+TEST(ScheduleCustom, ConfigRequiresScheduleJson) {
+  auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom);
+  EXPECT_THROW(cfg.validate(), IoError);
+  // ...and the json knob without kCustom is an inconsistent config too.
+  auto cfg2 = sched_cfg(8, 4, ScheduleKind::kRing);
+  cfg2.net.custom_schedule_json = "{}";
+  EXPECT_THROW(cfg2.validate(), IoError);
+}
+
+TEST(ScheduleCustom, WrongMachineShapeRejectedAtRunStart) {
+  // A schedule covering p=2 cannot drive a p=4 machine: typed kConfig
+  // before any superstep runs.
+  const auto two = routing::make_schedule(ScheduleKind::kRing, 2,
+                                          all_hosts(2), identity_machines(2));
+  auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom);
+  cfg.net.custom_schedule_json = two.to_json();
+  em::EmEngine e(cfg);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  const auto keys = random_keys(9, 600);
+  try {
+    e.run(prog, sort_inputs(8, keys));
+    FAIL() << "wrong-shape custom schedule must not run";
+  } catch (const IoError& err) {
+    EXPECT_EQ(err.kind(), IoErrorKind::kConfig);
+  }
+}
+
+TEST(ScheduleCustom, MalformedJsonRejectedAtRunStart) {
+  auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom);
+  cfg.net.custom_schedule_json = "{\"p\": 4, \"steps\": oops";
+  em::EmEngine e(cfg);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  const auto keys = random_keys(10, 600);
+  EXPECT_THROW(e.run(prog, sort_inputs(8, keys)), IoError);
+}
+
+TEST(ScheduleCustom, MembershipChangeFallsBackToDirect) {
+  // The documented degradation contract: a user schedule covers one exact
+  // membership; when fail-over shrinks the live set mid-run the engine
+  // falls back to direct exchange for the degraded epochs (and the run
+  // still completes bit-identically), rather than guessing how to shrink a
+  // hand-built route.
+  const auto keys = random_keys(5353, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(sched_cfg(8, 4, ScheduleKind::kDirect));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+
+  const auto ring = routing::make_schedule(ScheduleKind::kRing, 4,
+                                           all_hosts(4), identity_machines(4));
+  auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom);
+  cfg.net.custom_schedule_json = ring.to_json();
+  cfg.net.failover = true;
+  cfg.net.fault.fail_stop_proc = 3;
+  cfg.net.fault.fail_stop_at_step = 2;
+  em::EmEngine e(cfg);
+  const auto got = e.run(prog, sort_inputs(8, keys));
+  EXPECT_TRUE(same_outputs(expected, got));
+  ASSERT_GT(e.last_result().failovers, 0u);
+  // Degraded membership: the custom schedule is out of service.
+  EXPECT_EQ(e.schedule(), nullptr);
+}
+
+TEST(ScheduleCustom, RejoinRestoresTheCustomSchedule) {
+  const auto keys = random_keys(6464, 2000);
+  algo::SampleSortProgram<std::uint64_t> prog;
+  em::EmEngine ref(sched_cfg(8, 4, ScheduleKind::kDirect));
+  const auto expected = ref.run(prog, sort_inputs(8, keys));
+
+  const auto ring = routing::make_schedule(ScheduleKind::kRing, 4,
+                                           all_hosts(4), identity_machines(4));
+  auto cfg = sched_cfg(8, 4, ScheduleKind::kCustom);
+  cfg.net.custom_schedule_json = ring.to_json();
+  cfg.net.failover = true;
+  cfg.net.rejoin = true;
+  cfg.net.fault.fail_stops = {{2, 2}};
+  cfg.net.fault.rejoins = {{2, 4}};
+  em::EmEngine e(cfg);
+  EXPECT_TRUE(same_outputs(expected, e.run(prog, sort_inputs(8, keys))));
+  if (e.last_result().rejoins > 0) {
+    // Full membership again: the user schedule covers the machine and is
+    // re-engaged for the restored epochs.
+    ASSERT_NE(e.schedule(), nullptr);
+    EXPECT_EQ(e.schedule()->hosts, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  }
+}

@@ -19,6 +19,7 @@ Checks, stdlib-only (CI runs this on real bench output):
 Exit status 0 = valid; 1 = validation failure (with a message); 2 = usage.
 """
 import json
+import re
 import sys
 
 SPAN_NAMES = {
@@ -36,6 +37,13 @@ COUNTER_KEYS = {
 SPAN_CATEGORIES = {"engine", "io", "compute", "net", "ckpt"}
 PHASES = {"compute", "regroup", "final", "output"}
 METRICS_SCHEMA = "emcgm-metrics/1"
+# Process names: "host 3" / "engine", optionally tenant-scoped by the job
+# service ("jobA: host 3"); tenant labels are sanitized to [A-Za-z0-9_.-]
+# by the tracer. Thread names: the barrier lane, net pair lanes, and one
+# lane per store group.
+PROCESS_NAME_RE = re.compile(r"^([A-Za-z0-9_.-]+: )?(engine|host \d+)$")
+THREAD_NAME_RE = re.compile(r"^(barrier|net pair \d+|group \d+)$")
+TENANT_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
 # Events on one lane are sorted and stack-checked with this slack (us):
 # timestamps are ns-derived doubles, so exact equality is too strict.
 EPS = 1e-6
@@ -64,6 +72,14 @@ def validate_trace(path):
         if ph == "M":
             if e.get("name") not in ("process_name", "thread_name"):
                 fail(f"{path}: event {i}: unknown metadata {e.get('name')!r}")
+            label = e.get("args", {}).get("name")
+            if not isinstance(label, str):
+                fail(f"{path}: metadata event {i}: missing args.name")
+            pattern = (PROCESS_NAME_RE if e["name"] == "process_name"
+                       else THREAD_NAME_RE)
+            if not pattern.match(label):
+                fail(f"{path}: metadata event {i}: "
+                     f"unrecognized {e['name']} {label!r}")
             continue
         if ph == "C":
             name = e.get("name")
@@ -117,6 +133,9 @@ def validate_metrics(path):
         doc = json.load(f)
     if doc.get("schema") != METRICS_SCHEMA:
         fail(f"{path}: schema {doc.get('schema')!r}, want {METRICS_SCHEMA!r}")
+    if "tenant" in doc and not (isinstance(doc["tenant"], str)
+                                and TENANT_RE.match(doc["tenant"])):
+        fail(f"{path}: malformed tenant label {doc.get('tenant')!r}")
     for key in ("num_disks", "block_bytes", "model", "supersteps", "totals"):
         if key not in doc:
             fail(f"{path}: missing {key}")
