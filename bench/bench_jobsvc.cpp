@@ -12,12 +12,19 @@
 //      round-robin over counted bytes is what enforces it.
 //   3. Prefetch depth: widening the engine's read-ahead window changes wall
 //      time only — outputs and counted I/O stay bit-identical per depth.
+//   4. Parallel executor: four non-co-resident tenants (threads, async I/O
+//      and a targeted chaos campaign among them) swept over workers
+//      0/1/2/4/8 — every tenant's output hash, IoStats, NetStats and
+//      charged bytes bit-identical across all counts and to the serial
+//      tick loop (hard gate), with the wall-time speedup reported and,
+//      when the machine has >= 4 cores, gated > 1.0x at workers=4.
 //
 // Exit 2 on any gate failure, so CI can hold the line.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -232,15 +239,114 @@ int main(int argc, char** argv) {
   }
   pf_table.print();
 
+  // ---- 4. Parallel executor worker sweep --------------------------------
+  std::printf(
+      "\nParallel executor: four whole-host tenants (no shared pool host,\n"
+      "so the arbitration phase emits four independent work items) swept\n"
+      "over worker counts. One tenant runs host threads, two run async\n"
+      "I/O, one runs under a seeded absorbed chaos campaign. Outputs,\n"
+      "counted I/O, wire bytes and charged bytes may not move; only wall\n"
+      "time may.\n\n");
+
+  ServiceSpec wspec;
+  wspec.service.pool = bench_pool();
+  wspec.service.quantum_bytes = 1 << 18;
+  for (int t = 0; t < 4; ++t) {
+    auto s = spec_of("par" + std::to_string(t), "sort", 16384,
+                     41 + static_cast<std::uint64_t>(t));
+    s.disks = 8;  // whole-host carve: no co-residence anywhere
+    if (t == 0) s.use_threads = true;
+    if (t == 1 || t == 3) s.io_threads = 2;
+    wspec.jobs.push_back(s);
+  }
+  wspec.chaos_seed = 1;  // known-absorbed draw: retries, no abort
+  wspec.chaos_shape.max_events = 8;
+  wspec.chaos_shape.allow_kill = false;
+  wspec.chaos_shape.allow_rejoin = false;
+  wspec.chaos_shape.allow_disk_crash = false;
+  wspec.chaos_shape.target_tenant = 2;
+  arm_service_chaos(wspec);
+
+  Table sweep_table({"workers", "wall s", "speedup vs workers=1",
+                     "bit-identical to serial"});
+  std::vector<JobResult> serial_ref;
+  double wall_one = 0.0;
+  double wall_four = 0.0;
+  for (std::uint32_t workers : {0u, 1u, 2u, 4u, 8u}) {
+    ServiceConfig cfg = wspec.service;
+    cfg.workers = workers;
+    JobService sweep(cfg);
+    for (const JobSpec& j : wspec.jobs) sweep.submit(j);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rs = sweep.run_all();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (workers == 0) serial_ref = rs;
+    if (workers == 1) wall_one = wall;
+    if (workers == 4) wall_four = wall;
+
+    bool same = true;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (!rs[i].ok || !identical_to_solo(rs[i], serial_ref[i])) {
+        same = false;
+      }
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%u changed a tenant observable — the"
+                   " parallel loop is not bit-identical to the serial"
+                   " reference\n",
+                   workers);
+      gate_ok = false;
+    }
+    if (serial_ref[2].io.retries == 0) {
+      std::fprintf(stderr, "FAIL: sweep chaos campaign never fired\n");
+      gate_ok = false;
+    }
+
+    char wall_s[32];
+    std::snprintf(wall_s, sizeof wall_s, "%.3f", wall);
+    char speed_s[32];
+    if (workers >= 1 && wall_one > 0.0) {
+      std::snprintf(speed_s, sizeof speed_s, "%.2fx", wall_one / wall);
+    } else {
+      std::snprintf(speed_s, sizeof speed_s, "-");
+    }
+    sweep_table.row({workers == 0 ? "0 (serial loop)" : fmt_u(workers),
+                     wall_s, speed_s, same ? "yes" : "NO"});
+  }
+  sweep_table.print();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 4) {
+    const double speedup = wall_one / wall_four;
+    std::printf("\nworkers=4 speedup on this %u-core machine: %.2fx\n", hw,
+                speedup);
+    if (!(speedup > 1.0)) {
+      std::fprintf(stderr,
+                   "FAIL: four non-co-resident tenants on a >=4-core"
+                   " machine must beat one worker (got %.2fx)\n",
+                   speedup);
+      gate_ok = false;
+    }
+  } else {
+    std::printf(
+        "\nworkers=4 speedup gate skipped: hardware_concurrency=%u < 4\n",
+        hw);
+  }
+
   std::printf(
       "\nExpected shape: every tenant row says 'identical to solo' — the\n"
       "scheduler time-multiplexes barriers, it never touches tenant state.\n"
-      "The bench exits nonzero when isolation, the fairness bound, or the\n"
-      "prefetch invariance fails.\n");
+      "The worker sweep may only move wall time. The bench exits nonzero\n"
+      "when isolation, the fairness bound, the prefetch invariance, or the\n"
+      "worker-count invariance fails.\n");
 
   write_json_report(json_path,
                     {{"multi_tenant_service_vs_solo", svc_table},
                      {"fair_share_equal_priority", fair_table},
-                     {"prefetch_depth_sweep", pf_table}});
+                     {"prefetch_depth_sweep", pf_table},
+                     {"parallel_worker_sweep", sweep_table}});
   return gate_ok ? 0 : 2;
 }

@@ -767,8 +767,27 @@ void EmEngine::set_net_job_tag(std::uint64_t tag) {
   if (net_) net_->set_job_tag(tag);
 }
 
+/// RAII re-entrancy check on the cooperative API: one EmEngine is
+/// single-driver (see the thread-safety note in em_engine.h); concurrent
+/// entry into the same engine fails loudly here instead of racing.
+class EmEngine::ApiGuard {
+ public:
+  ApiGuard(std::atomic<bool>& busy, const char* what) : busy_(busy) {
+    EMCGM_CHECK_MSG(
+        !busy_.exchange(true, std::memory_order_acquire),
+        what << "() entered while another cooperative-API call is running on"
+                " this engine — one engine is single-driver; step distinct"
+                " engines from distinct threads instead");
+  }
+  ~ApiGuard() { busy_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& busy_;
+};
+
 void EmEngine::start(const cgm::Program& program,
                      std::vector<cgm::PartitionSet> inputs) {
+  ApiGuard guard(busy_, "start");
   rs_.reset();  // discard any previous unfinished cooperative run
   const std::uint32_t v = cfg_.v;
   const std::uint32_t p = cfg_.p;
@@ -896,6 +915,7 @@ std::vector<cgm::PartitionSet> EmEngine::resume(const cgm::Program& program) {
 }
 
 void EmEngine::start_resume(const cgm::Program& program) {
+  ApiGuard guard(busy_, "start_resume");
   rs_.reset();
   EMCGM_CHECK_MSG(cfg_.checkpointing,
                   "resume() requires cfg.checkpointing = true");
@@ -1621,6 +1641,7 @@ void EmEngine::drain_arrival_writes() {
 // ---------------------------------------------------------------- step ----
 
 bool EmEngine::step() {
+  ApiGuard guard(busy_, "step");
   EMCGM_CHECK_MSG(rs_ != nullptr,
                   "step() requires an active run (start()/start_resume())");
   RunState& rs = *rs_;
@@ -1760,6 +1781,7 @@ bool EmEngine::step() {
 }
 
 std::vector<cgm::PartitionSet> EmEngine::finish() {
+  ApiGuard guard(busy_, "finish");
   EMCGM_CHECK_MSG(rs_ != nullptr,
                   "finish() requires an active run (start()/start_resume())");
   EMCGM_CHECK_MSG(rs_->all_done,

@@ -17,6 +17,7 @@
 // touches only the message store — contexts are not re-read.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -55,6 +56,17 @@ class EmEngine final : public cgm::Engine {
   // beyond what the double-slot checkpoint already holds. The sequence of
   // supersteps a program executes is independent of when step() is called,
   // which is what makes a time-multiplexed run bit-identical to a solo run.
+  //
+  // Thread-safety (re-entrancy audit, DESIGN.md §17): an EmEngine owns every
+  // piece of state it touches — disks, stores, network, tracer, metrics,
+  // fault streams — and the tree holds no mutable globals, thread-locals or
+  // shared caches, so *distinct* engine instances may be driven from
+  // distinct threads concurrently (the job service's parallel execution
+  // phase does exactly that). ONE engine is single-driver: its cooperative
+  // calls must be externally serialized (any thread may make them, one at a
+  // time, with a happens-before edge between calls — a worker-pool barrier
+  // qualifies). A debug guard (busy_) turns a violated contract into a typed
+  // EMCGM_CHECK failure instead of a data race.
 
   /// Set up a cooperative run: fresh membership, stores, initial contexts
   /// and (with cfg.checkpointing) the initial commit. The program must stay
@@ -175,6 +187,7 @@ class EmEngine final : public cgm::Engine {
   struct RealProc;
   struct ProcOutcome;
   struct RunState;
+  class ApiGuard;
 
   /// Where a committed boundary resumes: the next physical superstep to run.
   enum class Phase : std::uint32_t { kCompute = 0, kRegroup = 1, kDone = 2 };
@@ -303,6 +316,11 @@ class EmEngine final : public cgm::Engine {
 
   /// Cooperative run state between start() and finish(); null otherwise.
   std::unique_ptr<RunState> rs_;
+
+  /// Set while a cooperative-API call (start/start_resume/step/finish) is
+  /// on some thread's stack; concurrent entry is a contract violation and
+  /// fails an EMCGM_CHECK instead of racing (see the thread-safety note).
+  std::atomic<bool> busy_{false};
 
   // Arbitration hooks (job service); empty = detached, zero overhead.
   pdm::IoChargeFn io_charge_;

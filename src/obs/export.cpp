@@ -116,29 +116,13 @@ void write_event_args(std::FILE* f, const Span& s) {
   std::fprintf(f, "}");
 }
 
-}  // namespace
-
-std::string metrics_path_for(const std::string& trace_path) {
-  const std::string suffix = ".json";
-  std::string stem = trace_path;
-  if (stem.size() > suffix.size() &&
-      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
-    stem.resize(stem.size() - suffix.size());
-  }
-  return stem + ".metrics.json";
-}
-
-void write_chrome_trace(const std::string& path, const Tracer& tracer,
-                        const MetricsRegistry* metrics) {
-  FileCloser fc{open_or_throw(path)};
-  write_chrome_trace(fc.f, tracer, metrics);
-}
-
-void write_chrome_trace(std::FILE* f, const Tracer& tracer,
-                        const MetricsRegistry* metrics) {
+/// Emit one tenant's metadata, spans and counter tracks with every pid
+/// offset by `pid_base` — the body shared by the single-tenant exporter
+/// (pid_base 0) and the combined multi-tenant exporter (disjoint bases).
+void emit_tenant(std::FILE* f, const Tracer& tracer,
+                 const MetricsRegistry* metrics, std::uint32_t pid_base,
+                 bool& first) {
   const auto spans = tracer.merged();
-  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-  bool first = true;
   auto sep = [&] {
     std::fprintf(f, first ? "" : ",\n");
     first = false;
@@ -160,12 +144,12 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
                    "\"args\":{\"name\":\"%sengine\"}}",
-                   h, tp.c_str());
+                   pid_base + h, tp.c_str());
     } else {
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
                    "\"args\":{\"name\":\"%shost %u\"}}",
-                   h, tp.c_str(), h);
+                   pid_base + h, tp.c_str(), h);
     }
   }
   for (const auto& [pid, tid] : lanes) {
@@ -174,17 +158,17 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
                    "\"tid\":%u,\"args\":{\"name\":\"barrier\"}}",
-                   pid, tid);
+                   pid_base + pid, tid);
     } else if (pid == tracer.engine_pid()) {
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
                    "\"tid\":%u,\"args\":{\"name\":\"net pair %u\"}}",
-                   pid, tid, tid - 1);
+                   pid_base + pid, tid, tid - 1);
     } else {
       std::fprintf(f,
                    "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
                    "\"tid\":%u,\"args\":{\"name\":\"group %u\"}}",
-                   pid, tid, tid);
+                   pid_base + pid, tid, tid);
     }
   }
 
@@ -195,7 +179,8 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,",
                  span_name(s.kind), span_category(s.kind),
                  static_cast<double>(s.start_ns) / 1000.0,
-                 static_cast<double>(s.dur_ns) / 1000.0, s.host, s.track);
+                 static_cast<double>(s.dur_ns) / 1000.0, pid_base + s.host,
+                 s.track);
     write_event_args(f, s);
     std::fprintf(f, "}");
   }
@@ -209,7 +194,7 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                    "{\"ph\":\"C\",\"name\":\"pdm\",\"pid\":%u,\"tid\":0,"
                    "\"ts\":%.3f,\"args\":{\"io_ops\":%llu,\"wire_bytes\":%llu,"
                    "\"comm_bytes\":%llu}}",
-                   tracer.engine_pid(),
+                   pid_base + tracer.engine_pid(),
                    static_cast<double>(m.end_ns) / 1000.0,
                    static_cast<unsigned long long>(m.io.total_ops()),
                    static_cast<unsigned long long>(m.net.wire_bytes),
@@ -226,7 +211,8 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
     std::fprintf(f,
                  "{\"ph\":\"C\",\"name\":\"membership_epoch\",\"pid\":%u,"
                  "\"tid\":0,\"ts\":%.3f,\"args\":{\"epoch\":%llu}}",
-                 tracer.engine_pid(), static_cast<double>(e.ns) / 1000.0,
+                 pid_base + tracer.engine_pid(),
+                 static_cast<double>(e.ns) / 1000.0,
                  static_cast<unsigned long long>(e.epoch));
   }
 
@@ -237,7 +223,55 @@ void write_chrome_trace(std::FILE* f, const Tracer& tracer,
     std::fprintf(f,
                  "{\"ph\":\"C\",\"name\":\"io_queue_depth\",\"pid\":%u,"
                  "\"tid\":0,\"ts\":%.3f,\"args\":{\"depth\":%u}}",
-                 d.host, static_cast<double>(d.ns) / 1000.0, d.depth);
+                 pid_base + d.host, static_cast<double>(d.ns) / 1000.0,
+                 d.depth);
+  }
+}
+
+}  // namespace
+
+std::string metrics_path_for(const std::string& trace_path) {
+  const std::string suffix = ".json";
+  std::string stem = trace_path;
+  if (stem.size() > suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
+  }
+  return stem + ".metrics.json";
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer,
+                        const MetricsRegistry* metrics) {
+  FileCloser fc{open_or_throw(path)};
+  write_chrome_trace(fc.f, tracer, metrics);
+}
+
+void write_chrome_trace(std::FILE* f, const Tracer& tracer,
+                        const MetricsRegistry* metrics) {
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  emit_tenant(f, tracer, metrics, 0, first);
+  std::fprintf(f, "\n]}\n");
+}
+
+void write_chrome_trace_multi(const std::string& path,
+                              const std::vector<TenantTrace>& tenants) {
+  FileCloser fc{open_or_throw(path)};
+  write_chrome_trace_multi(fc.f, tenants);
+}
+
+void write_chrome_trace_multi(std::FILE* f,
+                              const std::vector<TenantTrace>& tenants) {
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  std::uint32_t pid_base = 0;
+  // Canonical flush order: tenants in the order given (the job service
+  // passes submission order), each on its own pid range — tenant i owns
+  // pids [base, base + p_i], so lanes of different tenants can never
+  // interleave however the worker pool scheduled their spans.
+  for (const TenantTrace& t : tenants) {
+    emit_tenant(f, *t.tracer, t.metrics, pid_base, first);
+    pid_base += t.tracer->p() + 1;
   }
   std::fprintf(f, "\n]}\n");
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace emcgm::obs {
 
@@ -29,6 +30,25 @@ void write_chrome_trace(const std::string& path, const Tracer& tracer,
                         const MetricsRegistry* metrics);
 void write_chrome_trace(std::FILE* f, const Tracer& tracer,
                         const MetricsRegistry* metrics);
+
+/// One tenant's trace sources for the combined multi-tenant exporter.
+/// `tracer` must be non-null; `metrics` may be null.
+struct TenantTrace {
+  const Tracer* tracer = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+};
+
+/// Write several tenants' traces into ONE Chrome trace document. Tenants
+/// are flushed in the given (canonical) order onto disjoint pid ranges —
+/// tenant i's processes start at the sum of (p+1) over tenants before it —
+/// so per-lane span nesting stays well-formed no matter which worker
+/// threads recorded the spans (the job service's parallel execution phase).
+/// Process names keep their tenant prefix; tools/validate_trace.py checks
+/// the combined document like any single-tenant trace.
+void write_chrome_trace_multi(const std::string& path,
+                              const std::vector<TenantTrace>& tenants);
+void write_chrome_trace_multi(std::FILE* f,
+                              const std::vector<TenantTrace>& tenants);
 
 /// Write per-superstep metrics JSON. `num_disks`/`block_bytes` describe the
 /// machine so consumers can reconstruct PDM units without the config. A

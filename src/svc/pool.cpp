@@ -1,5 +1,6 @@
 #include "svc/pool.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.h"
@@ -40,13 +41,25 @@ void MachinePool::check_feasible(const std::string& job, std::uint32_t hosts,
 
 std::vector<std::uint32_t> MachinePool::try_acquire(std::uint32_t hosts,
                                                     std::uint32_t disks) {
-  // First fit, lowest host id: pure function of the pool's free map, so a
+  // Pure function of the pool's free map under either policy, so a
   // replayed service run grants the same carve-outs in the same order.
   std::vector<std::uint32_t> granted;
+  if (cfg_.placement == PlacementPolicy::kSpread) {
+    // Prefer whole empty hosts (lowest id first) to minimize co-residence.
+    for (std::uint32_t h = 0; h < cfg_.hosts && granted.size() < hosts; ++h) {
+      if (free_disks_[h] == cfg_.disks_per_host && free_disks_[h] >= disks) {
+        granted.push_back(h);
+      }
+    }
+  }
   for (std::uint32_t h = 0; h < cfg_.hosts && granted.size() < hosts; ++h) {
-    if (free_disks_[h] >= disks) granted.push_back(h);
+    if (free_disks_[h] >= disks &&
+        std::find(granted.begin(), granted.end(), h) == granted.end()) {
+      granted.push_back(h);
+    }
   }
   if (granted.size() < hosts) return {};
+  std::sort(granted.begin(), granted.end());
   for (std::uint32_t h : granted) free_disks_[h] -= disks;
   return granted;
 }

@@ -15,19 +15,33 @@
 
 namespace emcgm::svc {
 
+/// Where a carve-out lands when several hosts could serve it.
+///
+///  * kPack (default): first fit, lowest host id — dense packing, maximal
+///    co-residence, frees whole hosts fastest.
+///  * kSpread: prefer completely empty hosts (lowest id first), fall back
+///    to first fit over partially used hosts — minimal co-residence, which
+///    is what lets the parallel execution phase step tenants concurrently
+///    (co-resident tenants serialize into one work item).
+///
+/// Both are pure functions of the pool's free map, so either policy keeps a
+/// replayed service run granting the same carve-outs in the same order.
+enum class PlacementPolicy : std::uint8_t { kPack, kSpread };
+
 /// Capacity of the shared pool. Uniform hosts: every host owns
 /// `disks_per_host` disks of `block_bytes`-byte blocks.
 struct PoolConfig {
   std::uint32_t hosts = 4;
   std::uint32_t disks_per_host = 8;
   std::size_t block_bytes = 4096;
+  PlacementPolicy placement = PlacementPolicy::kPack;
 
   void validate() const;
 };
 
-/// Deterministic first-fit carve-outs of the pool. A job asks for `hosts`
-/// hosts with `disks` disks on each; the pool grants the lowest-id hosts
-/// that have that many disks free (so two jobs may co-reside on one host as
+/// Deterministic carve-outs of the pool. A job asks for `hosts` hosts with
+/// `disks` disks on each; the pool grants hosts per the placement policy
+/// (so two jobs may co-reside on one host as
 /// long as its disk complement covers both). Requests the pool could never
 /// satisfy — more disks per host than a host owns, or more hosts than the
 /// pool has — are rejected with a typed IoError(kConfig); requests that

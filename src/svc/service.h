@@ -5,30 +5,46 @@
 // a service run is as deterministic as a single engine run:
 //
 //   * Admission: a submitted job waits until its arrival tick passes, then
-//     until the pool can grant its carve-out (first-fit lowest host id, in
+//     until the pool can grant its carve-out (placement policy, in
 //     submission order). Requests an empty pool could never satisfy are
 //     rejected at submit() with a typed IoError(kConfig).
-//   * Priorities are strict: the scheduler only ever steps a job of the
+//   * Priorities are strict: the scheduler only ever steps jobs of the
 //     highest priority class that has admitted, unfinished jobs. A higher
-//     priority arrival preempts the running job *at its next superstep
+//     priority arrival preempts the running jobs *at their next superstep
 //     barrier* — the engine's cooperative step() returns at barriers, and
 //     preemption is simply not being stepped again. Nothing is saved or
 //     restored, which is why preemption cannot perturb a job's results.
 //   * Within a class, deficit round-robin arbitrates the shared disk and
 //     network capacity: each job's account is charged the *counted* cost of
 //     its supersteps (blocks x block size + wire bytes — never wall time),
-//     a burst lasts until the account overdraws its quantum, and each visit
-//     refills by one quantum. Long-run shares of equal-priority tenants are
-//     equal in counted bytes whatever their superstep granularity.
+//     and accounts refill by one quantum whenever the class runs dry. Long-
+//     run shares of equal-priority tenants are equal in counted bytes
+//     whatever their superstep granularity.
+//
+// Execution is a two-phase loop (DESIGN.md §17). Each tick, a single-
+// threaded **arbitration phase** runs admission, priorities and DRR exactly
+// as above and emits the set of chosen tenants — a pure function of the
+// specs, independent of `workers`. A **parallel execution phase** then steps
+// every chosen tenant to its next superstep barrier on a work-stealing
+// worker pool: tenants whose carve-outs share a pool host are grouped into
+// one work item and stepped sequentially inside it (structural
+// serialization — no lock ever guards an engine), while non-co-resident
+// tenants run concurrently. The join drains charges, retires finished jobs
+// and accounts preemptions in canonical (submission) slot order.
+// `workers == 0` selects the legacy serial tick loop, kept verbatim as the
+// reference the parallel loop is gated bit-identical against.
 //
 // Per-tenant isolation is structural: each job owns its engine, disks,
 // stores, network and tracer; tenants share capacity, never state. A job's
 // outputs, IoStats and NetStats are bit-identical to its solo run on the
-// same carve (tests/test_svc.cpp and bench/bench_jobsvc.cpp enforce this).
+// same carve for every worker count (tests/test_svc.cpp,
+// tests/test_svc_parallel.cpp and bench/bench_jobsvc.cpp enforce this).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "svc/job.h"
@@ -37,6 +53,10 @@
 namespace emcgm::svc {
 
 struct ServiceConfig {
+  /// `workers` default: resolve to std::thread::hardware_concurrency() at
+  /// service construction (at least 1).
+  static constexpr std::uint32_t kWorkersAuto = 0xFFFFFFFFu;
+
   PoolConfig pool;
   /// DRR refill per scheduling visit, in counted bytes. Smaller = finer
   /// interleaving (more barrier switches); the default is a few supersteps
@@ -44,6 +64,16 @@ struct ServiceConfig {
   std::uint64_t quantum_bytes = 1u << 20;
   /// Per-job tracer with the job name as tenant label (ObsConfig::tenant).
   bool trace = false;
+  /// Execution-phase worker threads. kWorkersAuto = hardware concurrency;
+  /// 0 = the serial tick loop (the bit-identity reference); any N >= 1 runs
+  /// the two-phase loop — the schedule, and with it every per-tenant
+  /// observable, is identical for all N >= 1 (N changes wall time only).
+  std::uint32_t workers = kWorkersAuto;
+  /// Test hook: called by the executing worker immediately before each
+  /// step(slot_index, tick). Schedule-perturbation stress injects seeded
+  /// sleeps here to prove worker timing cannot leak into results. Must be
+  /// thread-safe; null (the default) costs one branch per step.
+  std::function<void(std::size_t, std::uint64_t)> step_delay;
 };
 
 class JobService {
@@ -62,6 +92,15 @@ class JobService {
   /// Scheduling ticks consumed by the last run_all().
   std::uint64_t ticks() const { return tick_; }
 
+  /// Resolved execution-phase worker count (0 = serial tick loop).
+  std::uint32_t workers() const { return workers_; }
+
+  /// Export the per-tenant traces of the last run_all() as one combined
+  /// Chrome trace: every tenant's spans flushed in canonical (submission)
+  /// order onto disjoint pid ranges. Requires ServiceConfig::trace; jobs
+  /// that never admitted are skipped.
+  void write_trace(const std::string& path) const;
+
  private:
   struct Slot {
     JobSpec spec;
@@ -74,11 +113,28 @@ class JobService {
   /// later one overtake it within the same priority — carve order is FIFO).
   void admit();
 
-  /// The job to step next under strict priority + DRR, or null.
+  /// The job to step next under strict priority + DRR, or null (serial
+  /// tick loop only).
   Job* pick();
+
+  /// The legacy one-job-per-tick loop (workers == 0) — the reference side
+  /// of the serial-vs-parallel bit-identity contract.
+  void run_serial();
+
+  /// The two-phase loop (workers >= 1): deterministic arbitration, then
+  /// parallel execution of the chosen set, then a canonical-order join.
+  void run_parallel();
+
+  /// Group the chosen slots into work items: slots whose carve-outs share a
+  /// pool host land in one item (stepped sequentially inside it). Items are
+  /// ordered by their smallest slot index, members ascending — a pure
+  /// function of the chosen set and the carves.
+  std::vector<std::vector<std::size_t>> group_chosen(
+      const std::vector<std::size_t>& chosen) const;
 
   ServiceConfig cfg_;
   MachinePool pool_;
+  std::uint32_t workers_ = 0;  ///< resolved from cfg_.workers at construction
   std::vector<Slot> slots_;
   std::uint64_t tick_ = 0;
   std::size_t current_ = SIZE_MAX;  ///< slot index of the running burst

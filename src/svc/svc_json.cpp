@@ -146,6 +146,16 @@ void parse_pool(JsonCursor& c, PoolConfig& pool) {
       pool.disks_per_host = c.parse_u32();
     } else if (key == "block_bytes") {
       pool.block_bytes = static_cast<std::size_t>(c.parse_number());
+    } else if (key == "placement") {
+      const std::string policy = c.parse_string();
+      if (policy == "pack") {
+        pool.placement = PlacementPolicy::kPack;
+      } else if (policy == "spread") {
+        pool.placement = PlacementPolicy::kSpread;
+      } else {
+        c.fail("unknown placement policy '" + policy +
+               "' (want \"pack\" or \"spread\")");
+      }
     } else {
       c.fail("unknown pool field '" + key + "'");
     }
@@ -209,6 +219,8 @@ ServiceSpec parse_service_json(const std::string& text) {
       parse_pool(c, spec.service.pool);
     } else if (key == "quantum_bytes") {
       spec.service.quantum_bytes = c.parse_u64();
+    } else if (key == "workers") {
+      spec.service.workers = c.parse_u32();
     } else if (key == "trace") {
       spec.service.trace = c.parse_bool();
     } else if (key == "jobs") {

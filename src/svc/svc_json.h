@@ -28,8 +28,10 @@ struct ServiceSpec {
 /// Parse a job file:
 ///
 ///   {
-///     "pool": {"hosts": 4, "disks_per_host": 8, "block_bytes": 4096},
+///     "pool": {"hosts": 4, "disks_per_host": 8, "block_bytes": 4096,
+///              "placement": "pack"},
 ///     "quantum_bytes": 1048576,
+///     "workers": 4,
 ///     "trace": false,
 ///     "jobs": [
 ///       {"name": "sortA", "workload": "sort", "n": 4096, "seed": 7,
@@ -41,6 +43,9 @@ struct ServiceSpec {
 ///   }
 ///
 /// Every field except job "name" and "workload" has the JobSpec default.
+/// "workers" selects the execution-phase thread count (0 = serial tick
+/// loop; absent = hardware concurrency); pool "placement" is "pack" or
+/// "spread" — any other string is rejected typed.
 /// Throws IoError(kConfig) on malformed input.
 ServiceSpec parse_service_json(const std::string& text);
 

@@ -1,0 +1,100 @@
+#include "svc/worker_pool.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace emcgm::svc {
+
+WorkerPool::WorkerPool(std::uint32_t workers) {
+  if (workers == 0) {
+    throw IoError(IoErrorKind::kConfig, "worker pool needs >= 1 worker");
+  }
+  shards_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+bool WorkerPool::try_pop(std::size_t self, Task& out) {
+  const std::size_t n = shards_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Shard& s = *shards_[(self + k) % n];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.q.empty()) continue;
+    if (k == 0) {
+      out = std::move(s.q.front());
+      s.q.pop_front();
+    } else {
+      out = std::move(s.q.back());  // steal the owner's coldest task
+      s.q.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::worker_main(std::size_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stop_ || queued_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_ && queued_.load(std::memory_order_relaxed) == 0) return;
+    }
+    Task t;
+    while (try_pop(self, t)) {
+      // The error slot is this task's alone: written before the pending_
+      // decrement below, which is what releases the batch to the caller.
+      try {
+        t.fn();
+      } catch (...) {
+        (*errs_)[t.index] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::vector<std::exception_ptr> errs(tasks.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    errs_ = &errs;
+    pending_ = tasks.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      Shard& s = *shards_[i % shards_.size()];
+      std::lock_guard<std::mutex> sl(s.mu);
+      s.q.push_back(Task{i, std::move(tasks[i])});
+    }
+    queued_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    work_cv_.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    errs_ = nullptr;
+  }
+  for (std::exception_ptr& e : errs) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace emcgm::svc

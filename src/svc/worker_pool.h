@@ -1,0 +1,86 @@
+// Work-stealing worker pool for the job service's parallel execution phase.
+//
+// The scheduler's arbitration phase produces a batch of *work items* — sets
+// of tenants that may run concurrently — and run_batch() executes one batch
+// to completion. Tasks are dealt round-robin across per-worker deques; an
+// idle worker first drains its own deque from the front, then steals from
+// other workers' backs. Locks exist only at task granularity (deque push /
+// pop / steal); the task bodies themselves — engine supersteps — run with no
+// pool lock held, so the engine hot path is untouched.
+//
+// Determinism contract: the pool controls *where and when* a task runs,
+// never *what* runs — the batch is fixed before run_batch() starts, and the
+// caller observes results only after every task finished (run_batch() is a
+// barrier). Work stealing therefore perturbs wall-clock timing only.
+//
+// Error handling: a task that throws has its exception captured; after the
+// batch drains, run_batch() rethrows the exception of the lowest-index
+// failed task (canonical order, so a multi-failure batch reports the same
+// error on every run).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emcgm::svc {
+
+class WorkerPool {
+ public:
+  /// Spawn `workers` threads (>= 1; throws typed IoError(kConfig) on 0).
+  explicit WorkerPool(std::uint32_t workers);
+
+  /// Drains queued work, then joins every worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::uint32_t workers() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+  /// Run one batch of independent tasks to completion and return when every
+  /// task finished (barrier). Caller-side only — one batch at a time, from
+  /// one thread. Rethrows the lowest-index task exception, if any.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Task {
+    std::size_t index = 0;
+    std::function<void()> fn;
+  };
+  /// One worker's deque. Own pops come off the front, steals off the back,
+  /// so a stolen task is the one the owner would reach last.
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  /// Pop own front, else steal another shard's back (scan order: own shard
+  /// first, then ascending from it). False when every deque is empty.
+  bool try_pop(std::size_t self, Task& out);
+
+  void worker_main(std::size_t self);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                  ///< guards pending_/errs_/stop_ + cv waits
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::size_t> queued_{0};  ///< tasks sitting in some deque
+  std::size_t pending_ = 0;             ///< tasks queued or running
+  std::vector<std::exception_ptr>* errs_ = nullptr;  ///< current batch slots
+  bool stop_ = false;
+};
+
+}  // namespace emcgm::svc

@@ -1,11 +1,22 @@
 // jobsvc — run a multi-tenant job file through the job service.
 //
-//   jobsvc --jobs FILE [--out FILE] [--verify-solo] [--trace]
+//   jobsvc --jobs FILE [--out FILE] [--workers N] [--verify-solo]
+//          [--trace] [--trace-out FILE]
 //
 //       Parse the job file (see src/svc/svc_json.h for the schema), arm the
 //       optional service-level chaos campaign on its target tenant, run every
 //       job through one shared JobService, and print the per-job results
 //       JSON (or write it to --out).
+//
+//       --workers N overrides the job file's execution-phase worker count
+//       (0 = the serial tick loop; default = hardware concurrency). The
+//       schedule — and every per-tenant observable — is identical for every
+//       worker count; N changes wall time only.
+//
+//       --trace-out FILE (implies --trace) exports the combined per-tenant
+//       Chrome trace: every tenant's spans in canonical submission order on
+//       disjoint pid ranges (loadable in Perfetto, checked by
+//       tools/validate_trace.py).
 //
 //       --verify-solo additionally re-runs every job alone on an empty pool
 //       of the same geometry and compares output hash, IoStats and NetStats
@@ -15,6 +26,7 @@
 //       Exit 0 when every job completed ok (and, with --verify-solo, solo
 //       runs matched); exit 1 when a job failed; exit 2 on a config error or
 //       an isolation violation.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,8 +44,8 @@ namespace {
 
 [[noreturn]] void usage(const std::string& why) {
   std::cerr << "jobsvc: " << why << "\n"
-            << "usage: jobsvc --jobs FILE [--out FILE] [--verify-solo]"
-            << " [--trace]\n";
+            << "usage: jobsvc --jobs FILE [--out FILE] [--workers N]"
+            << " [--verify-solo] [--trace] [--trace-out FILE]\n";
   std::exit(2);
 }
 
@@ -82,6 +94,8 @@ bool matches_solo(const JobResult& svc, const JobResult& solo,
 int main(int argc, char** argv) {
   std::string jobs_file;
   std::string out_file;
+  std::string trace_out;
+  long long workers = -1;  // -1 = keep the job file's / default value
   bool verify_solo = false;
   bool trace = false;
   for (int i = 1; i < argc; ++i) {
@@ -92,9 +106,17 @@ int main(int argc, char** argv) {
     } else if (f == "--out") {
       if (i + 1 >= argc) usage("missing value for --out");
       out_file = argv[++i];
+    } else if (f == "--workers") {
+      if (i + 1 >= argc) usage("missing value for --workers");
+      workers = std::atoll(argv[++i]);
+      if (workers < 0) usage("--workers wants a count >= 0");
     } else if (f == "--verify-solo") {
       verify_solo = true;
     } else if (f == "--trace") {
+      trace = true;
+    } else if (f == "--trace-out") {
+      if (i + 1 >= argc) usage("missing value for --trace-out");
+      trace_out = argv[++i];
       trace = true;
     } else {
       usage("unknown flag '" + f + "'");
@@ -106,11 +128,15 @@ int main(int argc, char** argv) {
     ServiceSpec spec = parse_service_json(read_file(jobs_file));
     arm_service_chaos(spec);
     if (trace) spec.service.trace = true;
+    if (workers >= 0) {
+      spec.service.workers = static_cast<std::uint32_t>(workers);
+    }
 
     JobService service(spec.service);
     for (const JobSpec& j : spec.jobs) service.submit(j);
     const std::vector<JobResult> results = service.run_all();
     const std::string doc = results_json(results, service.ticks());
+    if (!trace_out.empty()) service.write_trace(trace_out);
 
     if (out_file.empty()) {
       std::cout << doc;
